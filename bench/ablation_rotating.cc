@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation: rotating (mutable) arbitration priority -- the fair
+ * scheme sketched in Section 7 and credited to Campbell and
+ * Horowitz. Three saturating senders share one bus; we measure each
+ * sender's share of delivered messages with the default fixed
+ * topological priority and with per-transaction rotation.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench/bench_util.hh"
+#include "mbus/system.hh"
+
+using namespace mbus;
+
+namespace {
+
+struct Shares
+{
+    int delivered[4] = {0, 0, 0, 0};
+    int total = 0;
+};
+
+Shares
+runFlood(bool rotate)
+{
+    sim::Simulator simulator;
+    bus::SystemConfig cfg;
+    cfg.useNodeArbBreak = rotate;
+    bus::MBusSystem system(simulator, cfg);
+    for (int i = 0; i < 4; ++i) {
+        bus::NodeConfig nc;
+        nc.name = "n" + std::to_string(i);
+        nc.fullPrefix = 0xD00u + static_cast<std::uint32_t>(i);
+        nc.staticShortPrefix = static_cast<std::uint8_t>(i + 1);
+        nc.powerGated = false;
+        system.addNode(nc);
+    }
+    system.finalize();
+    if (rotate)
+        system.enableRotatingPriority();
+
+    Shares shares;
+    std::vector<std::shared_ptr<std::function<void()>>> floods;
+    for (std::size_t sender = 1; sender <= 3; ++sender) {
+        auto flood = std::make_shared<std::function<void()>>();
+        *flood = [&system, &shares, sender, flood] {
+            bus::Message msg;
+            msg.dest = bus::Address::shortAddr(1, bus::kFuMailbox);
+            msg.payload.assign(8, 0x11);
+            system.node(sender).send(
+                msg,
+                [&shares, sender, flood](const bus::TxResult &r) {
+                    if (r.status == bus::TxStatus::Ack) {
+                        ++shares.delivered[sender];
+                        ++shares.total;
+                    }
+                    (*flood)();
+                });
+        };
+        floods.push_back(flood);
+        (*flood)();
+    }
+    simulator.run(simulator.now() + 500 * sim::kMillisecond);
+    return shares;
+}
+
+void
+report(const char *label, const Shares &s)
+{
+    std::printf("%-22s total %5d | shares:", label, s.total);
+    for (int i = 1; i <= 3; ++i) {
+        std::printf("  n%d %5.1f%%", i,
+                    s.total ? 100.0 * s.delivered[i] / s.total : 0.0);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner(
+        "Ablation: Rotating Arbitration Priority (fairness)",
+        "Pannuto et al., ISCA'15, Sec 7 discussion");
+
+    std::printf("three senders flooding 8-byte messages for 500 ms "
+                "at 400 kHz:\n\n");
+    Shares fixed = runFlood(false);
+    Shares rotating = runFlood(true);
+    report("fixed (topological)", fixed);
+    report("rotating priority", rotating);
+
+    std::printf("\nFixed priority starves everyone behind the "
+                "best-positioned requester; rotating the ring break "
+                "each transaction spreads access evenly -- at the "
+                "cost of one bit of state in every node's always-on "
+                "wire controller (exactly the trade-off Sec 7 "
+                "names).\n");
+    return 0;
+}

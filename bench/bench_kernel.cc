@@ -1,0 +1,93 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate
+ * itself: event throughput, net propagation, and full MBus
+ * transactions per wall-clock second. These gauge how large an MBus
+ * workload (e.g. the 28.8 kB image of Sec 6.3.2) the simulator
+ * sustains.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mbus/system.hh"
+#include "sim/simulator.hh"
+#include "wire/net.hh"
+
+using namespace mbus;
+
+namespace {
+
+void
+BM_EventQueueThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator simulator;
+        int remaining = static_cast<int>(state.range(0));
+        std::function<void()> tick = [&] {
+            if (--remaining > 0)
+                simulator.schedule(1000, tick);
+        };
+        simulator.schedule(1000, tick);
+        simulator.run();
+        benchmark::DoNotOptimize(simulator.now());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
+
+void
+BM_NetPropagationChain(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator simulator;
+        const int kHops = static_cast<int>(state.range(0));
+        std::vector<std::unique_ptr<wire::Net>> nets;
+        for (int i = 0; i < kHops; ++i) {
+            nets.push_back(std::make_unique<wire::Net>(
+                simulator, "n", 10 * sim::kNanosecond, true));
+        }
+        for (int i = 0; i + 1 < kHops; ++i) {
+            wire::Net *next = nets[static_cast<std::size_t>(i + 1)].get();
+            nets[static_cast<std::size_t>(i)]->subscribe(
+                wire::Edge::Any, [next](bool v) { next->drive(v); });
+        }
+        for (int edge = 0; edge < 100; ++edge)
+            nets[0]->drive(edge % 2 == 0);
+        simulator.run();
+        benchmark::DoNotOptimize(nets.back()->transitions());
+    }
+    state.SetItemsProcessed(state.iterations() * 100 * state.range(0));
+}
+BENCHMARK(BM_NetPropagationChain)->Arg(14);
+
+void
+BM_FullTransaction(benchmark::State &state)
+{
+    const std::size_t payload =
+        static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulator simulator;
+        bus::MBusSystem system(simulator);
+        for (int i = 0; i < 3; ++i) {
+            bus::NodeConfig nc;
+            nc.name = "n" + std::to_string(i);
+            nc.fullPrefix = 0xC00u + static_cast<std::uint32_t>(i);
+            nc.staticShortPrefix = static_cast<std::uint8_t>(i + 1);
+            nc.powerGated = false;
+            system.addNode(nc);
+        }
+        system.finalize();
+        bus::Message msg;
+        msg.dest = bus::Address::shortAddr(3, bus::kFuMailbox);
+        msg.payload.assign(payload, 0xA5);
+        auto r = system.sendAndWait(1, msg, sim::kSecond);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(payload));
+}
+BENCHMARK(BM_FullTransaction)->Arg(8)->Arg(180)->Arg(1000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Small shared helpers for the reproduction benches: consistent
+ * headers and number formatting so every bench prints paper-style
+ * rows that EXPERIMENTS.md can quote directly.
+ */
+
+#ifndef MBUS_BENCH_BENCH_UTIL_HH
+#define MBUS_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+namespace mbus {
+namespace benchutil {
+
+inline void
+banner(const std::string &what, const std::string &paperRef)
+{
+    std::printf("==============================================="
+                "=====================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("Reproduces: %s\n", paperRef.c_str());
+    std::printf("==============================================="
+                "=====================\n");
+}
+
+inline void
+section(const std::string &name)
+{
+    std::printf("\n--- %s ---\n", name.c_str());
+}
+
+} // namespace benchutil
+} // namespace mbus
+
+#endif // MBUS_BENCH_BENCH_UTIL_HH

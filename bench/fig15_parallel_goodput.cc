@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates Figure 15: parallel MBus goodput for 1-4 DATA wires at
+ * a 400 kHz bus clock, from the closed form plus edge-level simulator
+ * validation points using the actual lane-striping implementation.
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "analysis/goodput.hh"
+#include "bench/bench_util.hh"
+#include "mbus/system.hh"
+
+using namespace mbus;
+
+namespace {
+
+double
+simulatedGoodput(std::size_t payloadBytes, int lanes)
+{
+    sim::Simulator simulator;
+    bus::SystemConfig cfg;
+    cfg.dataLanes = lanes;
+    bus::MBusSystem system(simulator, cfg);
+    for (int i = 0; i < 3; ++i) {
+        bus::NodeConfig nc;
+        nc.name = "n" + std::to_string(i);
+        nc.fullPrefix = 0x400u + static_cast<std::uint32_t>(i);
+        nc.staticShortPrefix = static_cast<std::uint8_t>(i + 1);
+        nc.powerGated = false;
+        system.addNode(nc);
+    }
+    system.finalize();
+
+    const int kMessages = 10;
+    int done = 0;
+    std::function<void()> send_next = [&] {
+        bus::Message msg;
+        msg.dest = bus::Address::shortAddr(3, bus::kFuMailbox);
+        msg.payload.assign(payloadBytes, 0xA7);
+        system.node(1).send(msg, [&](const bus::TxResult &) {
+            if (++done < kMessages)
+                send_next();
+        });
+    };
+    sim::SimTime start = simulator.now();
+    send_next();
+    simulator.runUntil([&] { return done == kMessages; },
+                       60 * sim::kSecond);
+    double elapsed = sim::toSeconds(simulator.now() - start);
+    return 8.0 * static_cast<double>(payloadBytes) * kMessages /
+           elapsed;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner(
+        "Figure 15: Parallel MBus Goodput (400 kHz bus clock)",
+        "Pannuto et al., ISCA'15, Fig 15 + Sec 7");
+
+    std::printf("%6s %12s %12s %12s %12s\n", "bytes", "1 wire",
+                "2 wires", "3 wires", "4 wires");
+    for (std::size_t n = 0; n <= 128; n += 8) {
+        std::printf("%6zu", n);
+        for (int lanes = 1; lanes <= 4; ++lanes) {
+            std::printf("%12.0f", analysis::parallelGoodputBps(
+                                      400e3, n, lanes));
+        }
+        std::printf("\n");
+    }
+
+    benchutil::section("Edge-level simulator validation (actual "
+                       "lane-striped transfers, kbit/s)");
+    std::printf("%6s %10s %10s %10s %10s\n", "bytes", "1w", "2w",
+                "3w", "4w");
+    for (std::size_t n : {16u, 64u, 128u}) {
+        std::printf("%6zu", n);
+        for (int lanes = 1; lanes <= 4; ++lanes)
+            std::printf("%10.1f", simulatedGoodput(n, lanes) / 1e3);
+        std::printf("\n");
+    }
+
+    std::printf("\nShape: protocol overhead dominates short "
+                "messages (extra wires barely help); for long "
+                "payloads each DATA wire adds a full 400 kbit/s of "
+                "goodput, approaching 1.6 Mbit/s at 4 wires -- the "
+                "Fig 15 family.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Regenerates Figure 5: the arbitration + priority-arbitration
+ * waveform. Node 1 and node 3 request the bus nearly simultaneously;
+ * node 1 wins arbitration topologically, and node 3 claims the bus
+ * through the priority-arbitration cycle. Rendered as ASCII
+ * waveforms ('#' = high, '_' = low) and dumped as fig5.vcd.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "mbus/system.hh"
+#include "sim/vcd.hh"
+
+using namespace mbus;
+
+int
+main()
+{
+    benchutil::banner("Figure 5: MBus Arbitration Waveform",
+                      "Pannuto et al., ISCA'15, Fig 5");
+
+    sim::Simulator simulator;
+    bus::MBusSystem system(simulator);
+    for (int i = 0; i < 4; ++i) {
+        bus::NodeConfig nc;
+        nc.name = i == 0 ? "med" : "node" + std::to_string(i);
+        nc.fullPrefix = 0x500u + static_cast<std::uint32_t>(i);
+        nc.staticShortPrefix = static_cast<std::uint8_t>(i + 1);
+        nc.powerGated = false;
+        system.addNode(nc);
+    }
+    system.finalize();
+
+    sim::TraceRecorder rec;
+    system.attachTrace(rec);
+
+    // Node 1 requests; node 3 requests with a priority message a
+    // moment later (the paper's "node 1 shortly after node 3" race,
+    // roles swapped so priority arbitration visibly flips the win).
+    bus::Message plain;
+    plain.dest = bus::Address::shortAddr(3, bus::kFuMailbox);
+    plain.payload = {0x0F};
+    int done = 0;
+    system.node(1).send(plain,
+                        [&](const bus::TxResult &) { ++done; });
+
+    bus::Message urgent;
+    urgent.dest = bus::Address::shortAddr(3, bus::kFuMailbox);
+    urgent.payload = {0xF0};
+    urgent.priority = true;
+    simulator.schedule(sim::kMicrosecond, [&] {
+        system.node(3).send(urgent,
+                            [&](const bus::TxResult &) { ++done; });
+    });
+
+    simulator.runUntil([&] { return done == 2; }, sim::kSecond);
+    system.runUntilIdle(sim::kSecond);
+
+    sim::SimTime period =
+        sim::periodFromHz(system.config().busClockHz);
+    std::printf("\nFirst transaction (priority winner: node3), one "
+                "cell = 1/8 bus cycle:\n\n");
+    rec.renderAscii(std::cout, 0, 18 * period, period / 8);
+
+    std::printf("\npriority wins: node1=%llu node3=%llu "
+                "(arbitration losses: node1=%llu)\n",
+                static_cast<unsigned long long>(
+                    system.node(1).busController().stats()
+                        .priorityWins),
+                static_cast<unsigned long long>(
+                    system.node(3).busController().stats()
+                        .priorityWins),
+                static_cast<unsigned long long>(
+                    system.node(1).busController().stats()
+                        .arbitrationLosses));
+
+    std::ofstream vcd("fig5.vcd");
+    rec.writeVcd(vcd);
+    std::printf("full trace written to fig5.vcd\n");
+    return 0;
+}

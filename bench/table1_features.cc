@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Regenerates Table 1: the feature comparison matrix.
+ */
+
+#include <cstdio>
+
+#include "baseline/bus_traits.hh"
+#include "bench/bench_util.hh"
+
+using namespace mbus;
+using namespace mbus::baseline;
+
+namespace {
+
+const char *
+yn(bool v)
+{
+    return v ? "Yes" : "No";
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("Table 1: Feature Comparison Matrix",
+                      "Pannuto et al., ISCA'15, Table 1");
+
+    auto buses = table1Buses();
+
+    std::printf("%-28s", "");
+    for (const auto &b : buses)
+        std::printf("%10s", b.name.c_str());
+    std::printf("\n");
+
+    auto row = [&](const char *label, auto getter) {
+        std::printf("%-28s", label);
+        for (const auto &b : buses)
+            std::printf("%10s", getter(b).c_str());
+        std::printf("\n");
+    };
+
+    std::printf("Critical\n");
+    row("  I/O pads (n nodes)", [](const BusTraits &b) {
+        return b.ioPads;
+    });
+    row("  Standby power", [](const BusTraits &b) {
+        return std::string(powerLevelName(b.standbyPower));
+    });
+    row("  Active power", [](const BusTraits &b) {
+        return std::string(powerLevelName(b.activePower));
+    });
+    row("  Synthesizable", [](const BusTraits &b) {
+        return std::string(yn(b.synthesizable));
+    });
+    row("  Global uniq addresses", [](const BusTraits &b) {
+        if (b.globalUniqueAddresses == 0)
+            return std::string("--");
+        if (b.globalUniqueAddresses == (1 << 24))
+            return std::string("2^24");
+        return std::to_string(b.globalUniqueAddresses);
+    });
+    row("  Multi-master (interrupt)", [](const BusTraits &b) {
+        return std::string(yn(b.multiMasterInterrupt));
+    });
+
+    std::printf("Desirable\n");
+    row("  Broadcast messages", [](const BusTraits &b) {
+        return std::string(b.name == "SPI" ? "Option"
+                                           : yn(b.broadcastMessages));
+    });
+    row("  Data-independent", [](const BusTraits &b) {
+        return std::string(yn(b.dataIndependent));
+    });
+    row("  Power aware", [](const BusTraits &b) {
+        return std::string(yn(b.powerAware));
+    });
+    row("  Hardware ACKs", [](const BusTraits &b) {
+        return std::string(yn(b.hardwareAcks));
+    });
+    row("  Bits overhead (n bytes)", [](const BusTraits &b) {
+        return b.bitsOverhead;
+    });
+
+    benchutil::section("Concrete instantiations");
+    std::printf("%-28s", "pads @ 8-node system");
+    for (const auto &b : buses)
+        std::printf("%10d", b.padsFor(8));
+    std::printf("\n%-28s", "overhead bits @ 8 B msg");
+    for (const auto &b : buses)
+        std::printf("%10zu", b.overheadBitsFor(8));
+    std::printf("\n");
+
+    benchutil::section("Verdict");
+    for (const auto &b : buses) {
+        std::printf("  %-8s meets all micro-scale requirements: %s\n",
+                    b.name.c_str(), yn(b.meetsAllRequirements()));
+    }
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Run-time enumeration (Sec 4.7): a system assembled from unassigned
+ * chips -- including two copies of the same chip design, which short
+ * prefixes exist to disambiguate -- gets its address space built at
+ * first power-on by broadcast enumeration.
+ */
+
+#include <cstdio>
+
+#include "mbus/system.hh"
+
+using namespace mbus;
+
+int
+main()
+{
+    sim::Simulator simulator;
+    bus::MBusSystem system(simulator);
+
+    bus::NodeConfig proc;
+    proc.name = "processor";
+    proc.fullPrefix = 0x1CE00;
+    proc.staticShortPrefix = 1; // The enumerator knows itself.
+    proc.powerGated = false;
+    system.addNode(proc);
+
+    // Two copies of the same memory chip: identical full prefixes!
+    for (int copy = 0; copy < 2; ++copy) {
+        bus::NodeConfig mem;
+        mem.name = "memory" + std::to_string(copy);
+        mem.fullPrefix = 0x3E3E3; // Same chip design.
+        mem.powerGated = false;
+        system.addNode(mem);
+    }
+
+    bus::NodeConfig sensor;
+    sensor.name = "sensor";
+    sensor.fullPrefix = 0x5E45E;
+    sensor.powerGated = false;
+    system.addNode(sensor);
+    system.finalize();
+
+    std::printf("before enumeration:\n");
+    for (std::size_t i = 0; i < system.nodeCount(); ++i) {
+        std::printf("  %-10s full=0x%05x short=%s\n",
+                    system.node(i).name().c_str(),
+                    system.node(i).config().fullPrefix,
+                    system.node(i).busController().hasShortPrefix()
+                        ? std::to_string(system.node(i).shortPrefix())
+                              .c_str()
+                        : "-");
+    }
+
+    int assigned = system.enumerateAll(0);
+    std::printf("\nenumeration assigned %d short prefixes:\n",
+                assigned);
+    for (std::size_t i = 0; i < system.nodeCount(); ++i) {
+        std::printf("  %-10s short=%d%s\n",
+                    system.node(i).name().c_str(),
+                    system.node(i).shortPrefix(),
+                    i > 0 ? "  (ring order = topological priority)"
+                          : "  (static)");
+    }
+
+    // The two identical memory chips are now individually
+    // addressable -- write to each through its own short prefix.
+    for (std::size_t mem = 1; mem <= 2; ++mem) {
+        bus::Message write;
+        write.dest = bus::Address::shortAddr(
+            system.node(mem).shortPrefix(), bus::kFuRegisterWrite);
+        write.payload = {0x10, 0x00, 0x00,
+                         static_cast<std::uint8_t>(0xA0 + mem)};
+        system.sendAndWait(0, write);
+        system.runUntilIdle();
+    }
+    std::printf("\nregister 0x10: memory0=0x%02x memory1=0x%02x "
+                "(distinct despite identical chip designs)\n",
+                system.node(1).layer().readRegister(0x10),
+                system.node(2).layer().readRegister(0x10));
+
+    // Full (32-bit) addressing still works and matches BOTH copies
+    // of the design -- which is exactly why enumeration is needed.
+    std::printf("full-prefix addressing remains available for "
+                "unique chips, e.g. sensor at %s\n",
+                system.node(3).fullAddress(0).toString().c_str());
+    bus::Message full;
+    full.dest = system.node(3).fullAddress(bus::kFuMailbox);
+    full.payload = {0x42};
+    auto r = system.sendAndWait(0, full);
+    std::printf("send via full address: %s\n",
+                r ? bus::txStatusName(r->status) : "timeout");
+    return 0;
+}

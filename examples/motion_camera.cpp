@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The paper's "monitor and alert" application (Sec 6.3.2): a
+ * motion-activated imager. The imager is fully power gated; only its
+ * analog motion detector stays on. Motion asserts the interrupt
+ * wire, MBus wakes the chip via a null transaction, and the imager
+ * streams the picture row by row so other bus users can interleave.
+ *
+ * The image here is 32x32 @ 9-bit (stored as 2 bytes/pixel rows of
+ * 64 bytes) to keep the demo fast; the overhead accounting for the
+ * real 160x160 image is printed from the closed form.
+ */
+
+#include <cstdio>
+
+#include "analysis/overhead.hh"
+#include "mbus/system.hh"
+#include "sim/random.hh"
+
+using namespace mbus;
+
+int
+main()
+{
+    sim::Simulator simulator;
+    bus::MBusSystem system(simulator);
+    const char *names[3] = {"processor", "imager", "radio"};
+    for (int i = 0; i < 3; ++i) {
+        bus::NodeConfig cfg;
+        cfg.name = names[i];
+        cfg.fullPrefix = 0x88000u + static_cast<std::uint32_t>(i);
+        cfg.staticShortPrefix = static_cast<std::uint8_t>(i + 1);
+        cfg.powerGated = i != 0;
+        system.addNode(cfg);
+    }
+    system.finalize();
+
+    constexpr int kRows = 32;
+    constexpr int kRowBytes = 64;
+    sim::Random pixels(3232);
+
+    bus::Node &imager = system.node(1);
+
+    // Imager firmware: when the motion detector wakes the chip,
+    // capture and stream one frame, one row per message, then sleep.
+    int rows_sent = 0;
+    std::function<void()> stream_row = [&] {
+        bus::Message row;
+        row.dest = bus::Address::shortAddr(1, bus::kFuMemoryWrite);
+        row.payload.reserve(4 + kRowBytes);
+        std::uint32_t addr =
+            static_cast<std::uint32_t>(rows_sent * kRowBytes / 4);
+        row.payload = {static_cast<std::uint8_t>(addr >> 24),
+                       static_cast<std::uint8_t>(addr >> 16),
+                       static_cast<std::uint8_t>(addr >> 8),
+                       static_cast<std::uint8_t>(addr)};
+        for (int b = 0; b < kRowBytes; ++b)
+            row.payload.push_back(pixels.byte());
+        imager.send(row, [&](const bus::TxResult &r) {
+            if (r.status != bus::TxStatus::Ack) {
+                std::printf("[imager] row %d failed: %s\n",
+                            rows_sent, bus::txStatusName(r.status));
+                return;
+            }
+            if (++rows_sent < kRows) {
+                stream_row();
+            } else {
+                std::printf("[imager] frame complete; sleeping\n");
+                imager.sleep();
+            }
+        });
+    };
+    imager.busController().setInterruptCallback([&] {
+        std::printf("[imager] motion detector fired; chip is awake "
+                    "(bus woke the hierarchy)\n");
+        stream_row();
+    });
+
+    std::printf("imager gated: bus_ctrl=%s layer=%s; motion "
+                "detector armed\n",
+                imager.busDomain().off() ? "OFF" : "on",
+                imager.layerDomain().off() ? "OFF" : "on");
+
+    // ... a while later: motion!
+    simulator.run(simulator.now() + 100 * sim::kMillisecond);
+    sim::SimTime t0 = simulator.now();
+    imager.assertInterrupt();
+
+    simulator.runUntil([&] { return rows_sent == kRows; },
+                       60 * sim::kSecond);
+    system.runUntilIdle();
+
+    double ms = sim::toSeconds(simulator.now() - t0) * 1e3;
+    std::printf("frame of %d rows x %d B landed in the processor's "
+                "memory in %.2f ms at 400 kHz\n", kRows, kRowBytes,
+                ms);
+    std::printf("first pixels: %06x %06x ...\n",
+                system.node(0).layer().readMemory(0),
+                system.node(0).layer().readMemory(1));
+
+    // The real imager's numbers (Sec 6.3.2), from the closed form.
+    analysis::ImageTransferOverhead o =
+        analysis::imageTransferOverhead(160, 180);
+    std::printf("\nfull 160x160 image (28.8 kB): row-by-row costs "
+                "+%zu bits (%.2f%%) vs one message; I2C would pay "
+                "%.1f%% -- a %.0f%% ACK-overhead reduction.\n",
+                o.mbusExtraBits, o.mbusRowPercent, o.i2cRowPercent,
+                100.0 * (1.0 - double(o.mbusRowBits) /
+                                   double(o.i2cRowBits)));
+    return 0;
+}

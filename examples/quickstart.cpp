@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Quickstart: build a three-chip MBus system, send a message to a
+ * power-gated chip, watch it wake, receive, acknowledge, and go back
+ * to sleep. Start here.
+ */
+
+#include <cstdio>
+
+#include "mbus/system.hh"
+
+using namespace mbus;
+
+int
+main()
+{
+    // 1. A simulator owns time; a system owns the ring.
+    sim::Simulator simulator;
+    bus::MBusSystem system(simulator); // 400 kHz, 10 ns/hop defaults.
+
+    // 2. Describe the chips, in ring order. The first node hosts the
+    //    mediator (like the processor chip in the paper's systems).
+    bus::NodeConfig proc;
+    proc.name = "processor";
+    proc.fullPrefix = 0x12345;   // 20-bit unique chip-design id.
+    proc.staticShortPrefix = 1;  // Self-assigned short prefix.
+    proc.powerGated = false;     // Always-on chip.
+    system.addNode(proc);
+
+    bus::NodeConfig sensor;
+    sensor.name = "sensor";
+    sensor.fullPrefix = 0x23456;
+    sensor.staticShortPrefix = 2;
+    sensor.powerGated = true; // Fully power gated: MBus wakes it.
+    system.addNode(sensor);
+
+    bus::NodeConfig radio;
+    radio.name = "radio";
+    radio.fullPrefix = 0x34567;
+    radio.staticShortPrefix = 3;
+    radio.powerGated = true;
+    system.addNode(radio);
+
+    // 3. Wire the rings.
+    system.finalize();
+
+    // 4. Register receive handlers (the "application firmware").
+    system.node(1).layer().setMailboxHandler(
+        [](const bus::ReceivedMessage &rx) {
+            std::printf("[sensor] received %zu bytes:",
+                        rx.payload.size());
+            for (auto b : rx.payload)
+                std::printf(" %02x", b);
+            std::printf("\n");
+        });
+
+    std::printf("sensor power state before: bus_ctrl=%s layer=%s\n",
+                system.node(1).busDomain().off() ? "OFF" : "on",
+                system.node(1).layerDomain().off() ? "OFF" : "on");
+
+    // 5. Send. The sender needs no knowledge of the recipient's
+    //    power state: power-oblivious communication (Sec 4.4).
+    bus::Message msg;
+    msg.dest = bus::Address::shortAddr(2, bus::kFuMailbox);
+    msg.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+
+    auto result = system.sendAndWait(0, msg);
+    std::printf("[processor] transmit status: %s\n",
+                result ? bus::txStatusName(result->status) : "timeout");
+
+    system.runUntilIdle();
+    simulator.run(simulator.now() + 10 * sim::kMillisecond);
+
+    std::printf("sensor power state after: layer=%s "
+                "(woken by the bus, exactly once: %llu)\n",
+                system.node(1).layerDomain().active() ? "ACTIVE"
+                                                      : "off",
+                static_cast<unsigned long long>(
+                    system.node(1).layerDomain().wakeupCount()));
+    std::printf("radio layer untouched: %s (only the destination "
+                "powers on)\n",
+                system.node(2).layerDomain().off() ? "OFF" : "on");
+
+    // 6. Energy accounting comes for free.
+    std::printf("total bus energy: %.1f pJ (simulated scale; "
+                "x%.2f for the measured scale)\n",
+                system.ledger().total() * 1e12,
+                power::kMeasuredOverheadFactor);
+
+    // 7. The application decides when the recipient sleeps again.
+    system.node(1).sleep();
+    std::printf("sensor back to sleep: layer=%s\n",
+                system.node(1).layerDomain().off() ? "OFF" : "on");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The paper's archetypal "sense and send" application (Sec 6.3.1):
+ * a processor periodically requests a temperature reading and the
+ * sensor replies *directly to the radio* -- the any-to-any
+ * communication that single-master buses cannot do.
+ *
+ * Runs ten 15-second sampling rounds (simulated), prints each hop,
+ * and closes with the energy/lifetime ledger.
+ */
+
+#include <cstdio>
+
+#include "analysis/lifetime.hh"
+#include "mbus/system.hh"
+#include "power/battery.hh"
+#include "power/constants.hh"
+#include "sim/random.hh"
+
+using namespace mbus;
+
+namespace {
+
+constexpr std::uint8_t kProc = 1, kSensor = 2, kRadio = 3;
+
+} // namespace
+
+int
+main()
+{
+    sim::Simulator simulator;
+    bus::MBusSystem system(simulator);
+    const char *names[3] = {"processor", "temp-sensor", "radio"};
+    for (int i = 0; i < 3; ++i) {
+        bus::NodeConfig cfg;
+        cfg.name = names[i];
+        cfg.fullPrefix = 0x77000u + static_cast<std::uint32_t>(i);
+        cfg.staticShortPrefix = static_cast<std::uint8_t>(i + 1);
+        cfg.powerGated = i != 0;
+        system.addNode(cfg);
+    }
+    system.finalize();
+
+    sim::Random rng(68);
+    int transmissions = 0;
+
+    // Sensor firmware: a 4-byte request names the reply target in
+    // its last byte; respond with an 8-byte reading.
+    system.node(1).layer().setMailboxHandler(
+        [&](const bus::ReceivedMessage &rx) {
+            if (rx.payload.size() != 4)
+                return;
+            std::uint8_t reply_to = rx.payload[3];
+            double temp_c = 20.0 + rng.below(100) / 10.0;
+            auto raw = static_cast<std::uint32_t>(temp_c * 1000);
+            bus::Message reply;
+            reply.dest = bus::Address::decodeShort(reply_to);
+            reply.payload = {
+                static_cast<std::uint8_t>(raw >> 24),
+                static_cast<std::uint8_t>(raw >> 16),
+                static_cast<std::uint8_t>(raw >> 8),
+                static_cast<std::uint8_t>(raw),
+                0x00, 0x01, 0x02, 0x03, // sequence / metadata.
+            };
+            std::printf("  [sensor] %5.1f C -> %s\n", temp_c,
+                        reply.dest.toString().c_str());
+            system.node(1).send(reply);
+        });
+
+    // Radio firmware: "transmit" whatever arrives.
+    system.node(2).layer().setMailboxHandler(
+        [&](const bus::ReceivedMessage &rx) {
+            ++transmissions;
+            std::uint32_t raw = (std::uint32_t(rx.payload[0]) << 24) |
+                                (std::uint32_t(rx.payload[1]) << 16) |
+                                (std::uint32_t(rx.payload[2]) << 8) |
+                                std::uint32_t(rx.payload[3]);
+            std::printf("  [radio] OTA packet: %.1f C\n",
+                        raw / 1000.0);
+            system.node(2).sleep(); // Back to sleep after TX.
+        });
+
+    // Processor firmware: sample every 15 s.
+    const int kRounds = 10;
+    for (int round = 0; round < kRounds; ++round) {
+        std::printf("t=%3ds: sampling round %d\n",
+                    15 * round, round + 1);
+        bus::Message request;
+        request.dest = bus::Address::shortAddr(kSensor,
+                                               bus::kFuMailbox);
+        request.payload = {0x01, 0x00, 0x00,
+                           static_cast<std::uint8_t>(
+                               (kRadio << 4) | bus::kFuMailbox)};
+        system.sendAndWait(0, request);
+        system.runUntilIdle();
+        system.node(1).sleep();
+        // Idle until the next sample.
+        simulator.run(simulator.now() + 15 * sim::kSecond);
+    }
+
+    std::printf("\n%d OTA transmissions in %d rounds\n",
+                transmissions, kRounds);
+
+    // Energy story (Sec 6.3.1).
+    double bus_j = system.ledger().total() *
+                   power::kMeasuredOverheadFactor;
+    double leak_j = system.idleLeakageJ();
+    std::printf("bus energy (measured scale): %.1f nJ; MBus idle "
+                "leakage over %.0f s: %.3f nJ\n",
+                bus_j * 1e9, sim::toSeconds(simulator.now()),
+                leak_j * 1e9);
+
+    analysis::SenseAndSendAnalysis a = analysis::analyzeSenseAndSend();
+    std::printf("whole-system event cost ~%.0f nJ -> %.1f days on "
+                "the 2 uAh battery; direct sensor->radio addressing "
+                "buys %.0f extra hours vs relaying (paper: 71).\n",
+                a.eventEnergyDirectJ * 1e9, a.lifetimeDirectDays,
+                a.lifetimeGainHours);
+    return 0;
+}

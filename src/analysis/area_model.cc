@@ -1,0 +1,110 @@
+#include "analysis/area_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace analysis {
+
+std::vector<ModuleArea>
+table2Modules()
+{
+    return {
+        {"Bus Controller", 947, 1314, 207, 27376.0, false, true},
+        {"Sleep Controller", 130, 25, 4, 3150.0, true, true},
+        {"Wire Controller", 50, 7, 0, 882.0, true, true},
+        {"Interrupt Controller", 58, 21, 3, 2646.0, true, true},
+        {"SPI Master", 516, 1004, 229, 37068.0, false, false},
+        {"I2C", 720, 396, 153, 19813.0, false, false},
+        {"Lee I2C", 897, 908, 278, 33703.0, false, false},
+    };
+}
+
+ModuleArea
+mbusTotal()
+{
+    // The paper's total (37,200 um^2) includes a small amount of
+    // integration overhead beyond the per-module sum.
+    ModuleArea total{"Total", 0, 0, 0, 37200.0, false, true};
+    for (const auto &m : table2Modules()) {
+        if (!m.isMbus)
+            continue;
+        total.verilogSloc += m.verilogSloc;
+        total.gates += m.gates;
+        total.flipFlops += m.flipFlops;
+    }
+    return total;
+}
+
+namespace {
+
+/** Solve a 3x3 linear system via Cramer's rule. */
+bool
+solve3(const double m[3][3], const double v[3], double out[3])
+{
+    auto det3 = [](const double a[3][3]) {
+        return a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1]) -
+               a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0]) +
+               a[0][2] * (a[1][0] * a[2][1] - a[1][1] * a[2][0]);
+    };
+    double d = det3(m);
+    if (std::abs(d) < 1e-9)
+        return false;
+    for (int col = 0; col < 3; ++col) {
+        double t[3][3];
+        for (int r = 0; r < 3; ++r)
+            for (int c = 0; c < 3; ++c)
+                t[r][c] = (c == col) ? v[r] : m[r][c];
+        out[col] = det3(t) / d;
+    }
+    return true;
+}
+
+} // namespace
+
+AreaFit
+fitAreaModel(const std::vector<ModuleArea> &rows)
+{
+    if (rows.size() < 3)
+        mbus_fatal("area fit needs at least three rows");
+
+    // Normal equations for area ~ a*gates + b*ff + c.
+    double sgg = 0, sgf = 0, sff = 0, sg = 0, sf = 0, s1 = 0;
+    double sga = 0, sfa = 0, sa = 0;
+    for (const auto &m : rows) {
+        double g = m.gates, f = m.flipFlops, a = m.areaUm2;
+        sgg += g * g;
+        sgf += g * f;
+        sff += f * f;
+        sg += g;
+        sf += f;
+        s1 += 1.0;
+        sga += g * a;
+        sfa += f * a;
+        sa += a;
+    }
+    double mat[3][3] = {{sgg, sgf, sg}, {sgf, sff, sf}, {sg, sf, s1}};
+    double vec[3] = {sga, sfa, sa};
+    double coef[3] = {0, 0, 0};
+
+    AreaFit fit{};
+    if (solve3(mat, vec, coef)) {
+        fit.perGateUm2 = coef[0];
+        fit.perFlopUm2 = coef[1];
+        fit.fixedUm2 = coef[2];
+    } else {
+        fit.perGateUm2 = sga / sgg; // Degenerate: gates-only.
+    }
+
+    fit.maxRelativeError = 0.0;
+    for (const auto &m : rows) {
+        double pred = fit.predict(m.gates, m.flipFlops);
+        double rel = std::abs(pred - m.areaUm2) / m.areaUm2;
+        fit.maxRelativeError = std::max(fit.maxRelativeError, rel);
+    }
+    return fit;
+}
+
+} // namespace analysis
+} // namespace mbus

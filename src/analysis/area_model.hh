@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table 2: module sizes and the 180 nm area model.
+ *
+ * We cannot run synthesis, so the module inventory (Verilog SLOC,
+ * gate count, flip-flop count, synthesized area) is recorded from the
+ * paper, and a two-parameter linear area model
+ *
+ *   area = a * gates + b * flipflops
+ *
+ * is least-squares fitted across the published rows. The fit quality
+ * (reported by the bench) shows the published areas are internally
+ * consistent, and the model predicts areas for hypothetical
+ * configurations (e.g. a node without the optional controllers).
+ */
+
+#ifndef MBUS_ANALYSIS_AREA_MODEL_HH
+#define MBUS_ANALYSIS_AREA_MODEL_HH
+
+#include <string>
+#include <vector>
+
+namespace mbus {
+namespace analysis {
+
+/** One row of Table 2. */
+struct ModuleArea
+{
+    std::string name;
+    int verilogSloc;
+    int gates;
+    int flipFlops;
+    double areaUm2; ///< Synthesized for an industrial 180 nm process.
+    bool optional;  ///< Only needed for power-gated designs.
+    bool isMbus;    ///< MBus component vs comparison bus.
+};
+
+/** The Table 2 inventory (MBus modules + SPI/I2C/Lee-I2C). */
+std::vector<ModuleArea> table2Modules();
+
+/** Totals for the MBus rows (the "Total" line of Table 2). */
+ModuleArea mbusTotal();
+
+/** Least-squares fit of area = a*gates + b*ff + c over given rows.
+ *  The intercept c absorbs the per-module fixed overhead (power
+ *  rings, integration margin) that dominates tiny modules like the
+ *  7-gate wire controller. */
+struct AreaFit
+{
+    double perGateUm2;
+    double perFlopUm2;
+    double fixedUm2;
+    double maxRelativeError; ///< Worst row-wise |pred-actual|/actual.
+
+    double
+    predict(int gates, int flipFlops) const
+    {
+        return perGateUm2 * gates + perFlopUm2 * flipFlops + fixedUm2;
+    }
+};
+
+/** Fit the model over @p rows (defaults to all Table 2 rows). */
+AreaFit fitAreaModel(const std::vector<ModuleArea> &rows);
+
+} // namespace analysis
+} // namespace mbus
+
+#endif // MBUS_ANALYSIS_AREA_MODEL_HH

@@ -1,0 +1,68 @@
+#include "analysis/energy_model.hh"
+
+#include "mbus/protocol.hh"
+#include "power/constants.hh"
+
+namespace mbus {
+namespace analysis {
+
+namespace {
+
+double
+perBitPerChip(EnergyScale scale)
+{
+    return scale == EnergyScale::Simulated
+               ? power::kSimEnergyPerBitPerChipJ
+               : power::kMeasuredAvgJ;
+}
+
+} // namespace
+
+std::size_t
+mbusMessageCycles(std::size_t payloadBytes, bool fullAddress)
+{
+    std::size_t overhead = fullAddress
+                               ? bus::kOverheadFullBits
+                               : bus::kOverheadShortBits;
+    return overhead + 8 * payloadBytes;
+}
+
+double
+mbusMessageEnergyJ(std::size_t payloadBytes, int chips, bool fullAddress,
+                   EnergyScale scale)
+{
+    return perBitPerChip(scale) *
+           static_cast<double>(mbusMessageCycles(payloadBytes,
+                                                 fullAddress)) *
+           static_cast<double>(chips);
+}
+
+double
+mbusMessageEnergyByRoleJ(std::size_t payloadBytes, int chips,
+                         bool fullAddress)
+{
+    double per_bit =
+        power::kMeasuredTxJ + power::kMeasuredRxJ +
+        static_cast<double>(chips - 2) * power::kMeasuredFwdJ;
+    return per_bit * static_cast<double>(
+                         mbusMessageCycles(payloadBytes, fullAddress));
+}
+
+double
+mbusPowerW(double clockHz, int chips, EnergyScale scale)
+{
+    return perBitPerChip(scale) * clockHz * static_cast<double>(chips);
+}
+
+double
+mbusEnergyPerGoodputBitJ(std::size_t payloadBytes, int chips,
+                         bool fullAddress, EnergyScale scale)
+{
+    if (payloadBytes == 0)
+        return 0.0;
+    return mbusMessageEnergyJ(payloadBytes, chips, fullAddress, scale) /
+           (8.0 * static_cast<double>(payloadBytes));
+}
+
+} // namespace analysis
+} // namespace mbus

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * MBus energy equations (Sec 6.2, Table 3, Figure 11).
+ *
+ * The paper's message-energy model:
+ *
+ *   E_message = [3.5 pJ * ({19 | 43} + 8 n_bytes)] * n_chips
+ *
+ * and the measured counterpart built from the Table 3 per-role
+ * figures (27.45 TX / 22.71 RX / 17.55 FWD pJ per bit, where "bit"
+ * means bus cycle including protocol overhead).
+ */
+
+#ifndef MBUS_ANALYSIS_ENERGY_MODEL_HH
+#define MBUS_ANALYSIS_ENERGY_MODEL_HH
+
+#include <cstddef>
+
+namespace mbus {
+namespace analysis {
+
+/** Which calibration scale to evaluate. */
+enum class EnergyScale {
+    Simulated, ///< PrimeTime post-APR scale (3.5 pJ/bit/chip).
+    Measured,  ///< Empirical scale (22.6 pJ/bit/chip average).
+};
+
+/** Bus cycles for an n-byte message: {19|43} + 8n (Sec 6.1). */
+std::size_t mbusMessageCycles(std::size_t payloadBytes, bool fullAddress);
+
+/** The paper's E_message equation for @p chips on the ring. */
+double mbusMessageEnergyJ(std::size_t payloadBytes, int chips,
+                          bool fullAddress, EnergyScale scale);
+
+/**
+ * Per-role message energy: the TX(+mediator) chip, one RX chip, and
+ * (chips - 2) forwarders, at the measured Table 3 rates. This is the
+ * 5.6 nJ computation of Sec 6.3.1.
+ */
+double mbusMessageEnergyByRoleJ(std::size_t payloadBytes, int chips,
+                                bool fullAddress);
+
+/** Total MBus power at a bus clock: every cycle moves one bit. */
+double mbusPowerW(double clockHz, int chips, EnergyScale scale);
+
+/** Energy per goodput (payload) bit for an n-byte message. */
+double mbusEnergyPerGoodputBitJ(std::size_t payloadBytes, int chips,
+                                bool fullAddress, EnergyScale scale);
+
+} // namespace analysis
+} // namespace mbus
+
+#endif // MBUS_ANALYSIS_ENERGY_MODEL_HH

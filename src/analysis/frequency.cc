@@ -1,0 +1,19 @@
+#include "analysis/frequency.hh"
+
+namespace mbus {
+namespace analysis {
+
+double
+paperMaxClockHz(int nodes, double hopDelayS)
+{
+    return 1.0 / (static_cast<double>(nodes) * hopDelayS);
+}
+
+double
+conservativeMaxClockHz(int nodes, double hopDelayS)
+{
+    return 1.0 / (2.0 * hopDelayS * (static_cast<double>(nodes) + 2.0));
+}
+
+} // namespace analysis
+} // namespace mbus

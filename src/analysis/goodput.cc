@@ -1,0 +1,26 @@
+#include "analysis/goodput.hh"
+
+#include "mbus/protocol.hh"
+
+namespace mbus {
+namespace analysis {
+
+double
+parallelGoodputBps(double clockHz, std::size_t payloadBytes, int lanes,
+                   bool fullAddress)
+{
+    std::size_t payload_bits = 8 * payloadBytes;
+    std::size_t data_cycles =
+        (payload_bits + static_cast<std::size_t>(lanes) - 1) /
+        static_cast<std::size_t>(lanes);
+    std::size_t overhead = fullAddress
+                               ? bus::kOverheadFullBits
+                               : bus::kOverheadShortBits;
+    double cycles = static_cast<double>(overhead + data_cycles);
+    if (cycles == 0.0)
+        return 0.0;
+    return static_cast<double>(payload_bits) / cycles * clockHz;
+}
+
+} // namespace analysis
+} // namespace mbus

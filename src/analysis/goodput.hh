@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Goodput models: standard and parallel MBus (Figure 15, Sec 7).
+ */
+
+#ifndef MBUS_ANALYSIS_GOODPUT_HH
+#define MBUS_ANALYSIS_GOODPUT_HH
+
+#include <cstddef>
+
+namespace mbus {
+namespace analysis {
+
+/**
+ * Payload goodput (bits/second) for back-to-back n-byte messages.
+ *
+ * Protocol elements (arbitration, address, interjection, control)
+ * stay serial on DATA0; payload bits stripe across @p lanes wires,
+ * so data cycles shrink to ceil(8n / lanes) (Sec 7 / Fig 15).
+ */
+double parallelGoodputBps(double clockHz, std::size_t payloadBytes,
+                          int lanes, bool fullAddress = false);
+
+} // namespace analysis
+} // namespace mbus
+
+#endif // MBUS_ANALYSIS_GOODPUT_HH

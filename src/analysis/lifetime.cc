@@ -1,0 +1,41 @@
+#include "analysis/lifetime.hh"
+
+#include "analysis/energy_model.hh"
+#include "power/battery.hh"
+#include "power/constants.hh"
+
+namespace mbus {
+namespace analysis {
+
+SenseAndSendAnalysis
+analyzeSenseAndSend(std::size_t payloadBytes, int chips,
+                    double eventPeriodS, double batteryUah,
+                    double batteryV)
+{
+    SenseAndSendAnalysis r{};
+
+    r.directMessageJ =
+        mbusMessageEnergyByRoleJ(payloadBytes, chips, false);
+    r.relayBusJ = 2.0 * r.directMessageJ;
+    r.relayCpuJ = power::kProcessorRelayCycles *
+                  power::kProcessorEnergyPerCycleJ;
+    r.savedPerEventJ = r.directMessageJ + r.relayCpuJ;
+
+    r.eventEnergyDirectJ = power::kSenseAndSendEventJ;
+    r.eventEnergyRelayJ = r.eventEnergyDirectJ + r.savedPerEventJ;
+    r.savedPercent = 100.0 * r.savedPerEventJ / r.eventEnergyDirectJ;
+
+    power::Battery battery(batteryUah, batteryV);
+    r.batteryJ = battery.energyJ();
+
+    double direct_w = r.eventEnergyDirectJ / eventPeriodS;
+    double relay_w = r.eventEnergyRelayJ / eventPeriodS;
+    r.lifetimeDirectDays = battery.lifetimeDays(direct_w);
+    r.lifetimeRelayDays = battery.lifetimeDays(relay_w);
+    r.lifetimeGainHours =
+        (r.lifetimeDirectDays - r.lifetimeRelayDays) * 24.0;
+    return r;
+}
+
+} // namespace analysis
+} // namespace mbus

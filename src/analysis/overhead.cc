@@ -1,0 +1,49 @@
+#include "analysis/overhead.hh"
+
+#include "baseline/i2c.hh"
+#include "mbus/protocol.hh"
+
+namespace mbus {
+namespace analysis {
+
+std::size_t
+mbusOverheadBits(std::size_t, bool fullAddress)
+{
+    return fullAddress ? bus::kOverheadFullBits : bus::kOverheadShortBits;
+}
+
+std::size_t
+crossoverBytes(std::size_t (*overheadA)(std::size_t),
+               std::size_t (*overheadB)(std::size_t), std::size_t limit)
+{
+    for (std::size_t n = 1; n <= limit; ++n)
+        if (overheadA(n) < overheadB(n))
+            return n;
+    return 0;
+}
+
+ImageTransferOverhead
+imageTransferOverhead(std::size_t rows, std::size_t rowBytes)
+{
+    ImageTransferOverhead r;
+    r.imageBytes = rows * rowBytes;
+    std::size_t image_bits = 8 * r.imageBytes;
+
+    r.mbusSingleBits = bus::kOverheadShortBits;
+    r.mbusRowBits = rows * bus::kOverheadShortBits;
+    r.mbusExtraBits = r.mbusRowBits - r.mbusSingleBits;
+    r.mbusRowPercent =
+        100.0 * static_cast<double>(r.mbusExtraBits) /
+        static_cast<double>(image_bits);
+
+    r.i2cSingleBits = baseline::I2cModel::overheadBits(r.imageBytes);
+    r.i2cSinglePercent = 100.0 * static_cast<double>(r.i2cSingleBits) /
+                         static_cast<double>(image_bits);
+    r.i2cRowBits = rows * baseline::I2cModel::overheadBits(rowBytes);
+    r.i2cRowPercent = 100.0 * static_cast<double>(r.i2cRowBits) /
+                      static_cast<double>(image_bits);
+    return r;
+}
+
+} // namespace analysis
+} // namespace mbus

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Protocol-overhead comparisons (Figure 10 and Sec 6.3.2).
+ */
+
+#ifndef MBUS_ANALYSIS_OVERHEAD_HH
+#define MBUS_ANALYSIS_OVERHEAD_HH
+
+#include <cstddef>
+
+namespace mbus {
+namespace analysis {
+
+/** Overhead bits for an n-byte MBus message (19 or 43, Sec 6.1). */
+std::size_t mbusOverheadBits(std::size_t payloadBytes, bool fullAddress);
+
+/**
+ * Smallest payload (bytes) at which bus A's overhead drops strictly
+ * below bus B's, or 0 if never within @p limit.
+ *
+ * Used to reproduce the Fig 10 caption: MBus (short) beats 2-stop
+ * UART after 7 bytes and I2C / 1-stop UART after 9 bytes.
+ */
+std::size_t
+crossoverBytes(std::size_t (*overheadA)(std::size_t),
+               std::size_t (*overheadB)(std::size_t), std::size_t limit);
+
+/**
+ * Section 6.3.2 image-transfer overhead accounting.
+ */
+struct ImageTransferOverhead
+{
+    std::size_t imageBytes;     ///< 28,800 for the 160x160x9 imager.
+    std::size_t mbusSingleBits; ///< One message (19).
+    std::size_t mbusRowBits;    ///< 160 row messages (3,040).
+    std::size_t mbusExtraBits;  ///< Row-wise penalty (3,021).
+    double mbusRowPercent;      ///< 1.31 %.
+    std::size_t i2cSingleBits;  ///< 28,810 (12.5 %).
+    double i2cSinglePercent;
+    std::size_t i2cRowBits;     ///< 30,400 (13.2 %).
+    double i2cRowPercent;
+};
+
+/** Compute the Sec 6.3.2 numbers for a rows x rowBytes image. */
+ImageTransferOverhead imageTransferOverhead(std::size_t rows,
+                                            std::size_t rowBytes);
+
+} // namespace analysis
+} // namespace mbus
+
+#endif // MBUS_ANALYSIS_OVERHEAD_HH

@@ -1,0 +1,19 @@
+#include "analysis/transaction_rate.hh"
+
+#include "analysis/energy_model.hh"
+
+namespace mbus {
+namespace analysis {
+
+double
+saturatingTransactionRate(double clockHz, std::size_t payloadBytes,
+                          bool fullAddress, double idleCycles)
+{
+    double cycles = static_cast<double>(
+                        mbusMessageCycles(payloadBytes, fullAddress)) +
+                    idleCycles;
+    return clockHz / cycles;
+}
+
+} // namespace analysis
+} // namespace mbus

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Saturating transaction rate (Figure 14).
+ *
+ * A shared medium supports a finite transaction rate: at saturation
+ * the bus runs back-to-back transactions, each costing the protocol
+ * overhead plus payload cycles plus the fixed wall-clock cost of the
+ * mediator wakeup and the return-to-idle guard.
+ */
+
+#ifndef MBUS_ANALYSIS_TRANSACTION_RATE_HH
+#define MBUS_ANALYSIS_TRANSACTION_RATE_HH
+
+#include <cstddef>
+
+namespace mbus {
+namespace analysis {
+
+/**
+ * Peak transactions per second.
+ *
+ * @param clockHz Bus clock.
+ * @param payloadBytes Payload per transaction.
+ * @param fullAddress Use 43-cycle overhead instead of 19.
+ * @param idleCycles Extra cycle-equivalents per transaction for
+ *        mediator wakeup and idle return (2 in our simulator).
+ */
+double saturatingTransactionRate(double clockHz, std::size_t payloadBytes,
+                                 bool fullAddress = false,
+                                 double idleCycles = 2.0);
+
+} // namespace analysis
+} // namespace mbus
+
+#endif // MBUS_ANALYSIS_TRANSACTION_RATE_HH

@@ -1,0 +1,81 @@
+#include "baseline/bus_traits.hh"
+
+#include "baseline/i2c.hh"
+#include "baseline/lee_i2c.hh"
+#include "baseline/spi.hh"
+#include "baseline/uart.hh"
+#include "mbus/protocol.hh"
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace baseline {
+
+const char *
+powerLevelName(PowerLevel level)
+{
+    switch (level) {
+      case PowerLevel::Low: return "Low";
+      case PowerLevel::Medium: return "Med";
+      case PowerLevel::High: return "High";
+      default: return "?";
+    }
+}
+
+int
+BusTraits::padsFor(int nodes) const
+{
+    if (name == "I2C" || name == "Lee-I2C")
+        return 4; // Two shared lines, two pads each when wirebonding.
+    if (name == "SPI")
+        return SpiModel::padCount(nodes);
+    if (name == "UART")
+        return UartModel::padCount(nodes);
+    if (name == "MBus")
+        return 4;
+    mbus_panic("unknown bus ", name);
+}
+
+std::size_t
+BusTraits::overheadBitsFor(std::size_t payloadBytes) const
+{
+    if (name == "I2C" || name == "Lee-I2C")
+        return I2cModel::overheadBits(payloadBytes);
+    if (name == "SPI")
+        return SpiModel::overheadBits(payloadBytes);
+    if (name == "UART")
+        return UartModel(2).overheadBits(payloadBytes);
+    if (name == "MBus")
+        return bus::kOverheadShortBits;
+    mbus_panic("unknown bus ", name);
+}
+
+bool
+BusTraits::meetsAllRequirements() const
+{
+    return standbyPower == PowerLevel::Low &&
+           activePower == PowerLevel::Low && synthesizable &&
+           globalUniqueAddresses > 0 && multiMasterInterrupt &&
+           broadcastMessages && dataIndependent && powerAware &&
+           hardwareAcks;
+}
+
+std::vector<BusTraits>
+table1Buses()
+{
+    return {
+        BusTraits{"I2C", "2/4", PowerLevel::Low, PowerLevel::High,
+                  true, 128, true, false, true, false, true, "10 + n"},
+        BusTraits{"SPI", "3 + n", PowerLevel::Low, PowerLevel::Low,
+                  true, 0, false, true, true, false, false, "2"},
+        BusTraits{"UART", "2 x n", PowerLevel::Low, PowerLevel::Low,
+                  true, 0, false, false, true, false, false,
+                  "(2-3) x n"},
+        BusTraits{"Lee-I2C", "2/4", PowerLevel::Low, PowerLevel::Medium,
+                  false, 128, true, false, true, false, true, "10 + n"},
+        BusTraits{"MBus", "4", PowerLevel::Low, PowerLevel::Low, true,
+                  1 << 24, true, true, true, true, true, "19, 43"},
+    };
+}
+
+} // namespace baseline
+} // namespace mbus

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The Table 1 feature-comparison matrix, as data.
+ *
+ * Each interconnect's critical and desirable properties are encoded
+ * so the bench can regenerate the table and tests can assert the
+ * paper's claim that only MBus satisfies every requirement.
+ */
+
+#ifndef MBUS_BASELINE_BUS_TRAITS_HH
+#define MBUS_BASELINE_BUS_TRAITS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbus {
+namespace baseline {
+
+/** Qualitative power levels used in Table 1. */
+enum class PowerLevel { Low, Medium, High };
+
+/** One row of the Table 1 comparison. */
+struct BusTraits
+{
+    std::string name;
+
+    // Critical features.
+    std::string ioPads;      ///< Expression in n nodes (e.g. "3 + n").
+    PowerLevel standbyPower; ///< All contenders are Low.
+    PowerLevel activePower;
+    bool synthesizable;
+    std::int64_t globalUniqueAddresses; ///< 0 = none (hardware CS).
+    bool multiMasterInterrupt;
+
+    // Desirable features.
+    bool broadcastMessages;
+    bool dataIndependent;
+    bool powerAware;
+    bool hardwareAcks;
+    std::string bitsOverhead; ///< Expression in n payload bytes.
+
+    /** Pads needed for a concrete system population. */
+    int padsFor(int nodes) const;
+
+    /** Overhead bits for a concrete payload (short addressing). */
+    std::size_t overheadBitsFor(std::size_t payloadBytes) const;
+
+    /** True when every critical + desirable requirement is met. */
+    bool meetsAllRequirements() const;
+};
+
+/** The five buses of Table 1, in the paper's column order. */
+std::vector<BusTraits> table1Buses();
+
+/** Printable name for a power level. */
+const char *powerLevelName(PowerLevel level);
+
+} // namespace baseline
+} // namespace mbus
+
+#endif // MBUS_BASELINE_BUS_TRAITS_HH

@@ -1,0 +1,129 @@
+#include "baseline/i2c.hh"
+
+#include <cmath>
+
+#include "power/constants.hh"
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace baseline {
+
+namespace {
+/** ln(1 / (1 - 0.8)): RC constants needed to rise to 80% VDD. */
+const double kRiseTimeConstants =
+    -std::log(1.0 - power::kI2cRiseFraction);
+} // namespace
+
+I2cModel::I2cModel(double busCapF, double vdd, I2cSizing sizing)
+    : busCapF_(busCapF), vdd_(vdd), sizing_(sizing)
+{
+    if (busCapF <= 0.0 || vdd <= 0.0)
+        mbus_fatal("nonsensical I2C parameters");
+}
+
+I2cModel
+I2cModel::forNodeCount(int nodes, I2cSizing sizing)
+{
+    // Table 1 footnote: "When wirebonding, a shared bus requires two
+    // pads/chip" -- the same pad model as an MBus ring segment.
+    double cap =
+        nodes * (2.0 * power::kPadCapF + power::kWireCapF);
+    return I2cModel(cap, power::kVdd, sizing);
+}
+
+double
+I2cModel::pullUpOhms(double clockHz) const
+{
+    double rise_budget;
+    if (sizing_ == I2cSizing::Oracle) {
+        rise_budget = 0.5 / clockHz; // The full half cycle.
+    } else {
+        rise_budget = power::kI2cStandardRiseS;
+    }
+    return rise_budget / (busCapF_ * kRiseTimeConstants);
+}
+
+double
+I2cModel::dumpEnergyJ() const
+{
+    double v_high = power::kI2cRiseFraction * vdd_;
+    return 0.5 * busCapF_ * v_high * v_high;
+}
+
+double
+I2cModel::chargeLossJ() const
+{
+    double v_high = power::kI2cRiseFraction * vdd_;
+    // Energy from the supply minus energy stored on the cap.
+    return busCapF_ * vdd_ * v_high - 0.5 * busCapF_ * v_high * v_high;
+}
+
+double
+I2cModel::lowPhaseLossJ(double clockHz) const
+{
+    double t_low = 0.5 / clockHz;
+    return vdd_ * vdd_ * t_low / pullUpOhms(clockHz);
+}
+
+double
+I2cModel::clockEnergyPerCycleJ(double clockHz) const
+{
+    return dumpEnergyJ() + chargeLossJ() + lowPhaseLossJ(clockHz);
+}
+
+double
+I2cModel::clockPowerW(double clockHz) const
+{
+    return clockEnergyPerCycleJ(clockHz) * clockHz;
+}
+
+double
+I2cModel::dataEnergyPerBitJ(double clockHz) const
+{
+    // Provisioned for worst-case data activity: SDA toggling every
+    // bit and low half the time costs the same as SCL. I2C power is
+    // data-dependent; the paper's data-independence requirement
+    // (Sec 3) forces provisioning for this case.
+    return dumpEnergyJ() + chargeLossJ() + lowPhaseLossJ(clockHz);
+}
+
+double
+I2cModel::totalPowerW(double clockHz) const
+{
+    return clockPowerW(clockHz) + dataEnergyPerBitJ(clockHz) * clockHz;
+}
+
+std::size_t
+I2cModel::overheadBits(std::size_t payloadBytes)
+{
+    // Start + 7-bit address + R/W + address ACK = 10, plus one ACK
+    // per data byte (Table 1: "10 + n").
+    return 10 + payloadBytes;
+}
+
+std::size_t
+I2cModel::totalBits(std::size_t payloadBytes)
+{
+    return 8 * payloadBytes + overheadBits(payloadBytes);
+}
+
+double
+I2cModel::messageEnergyJ(std::size_t payloadBytes, double clockHz) const
+{
+    double per_cycle =
+        clockEnergyPerCycleJ(clockHz) + dataEnergyPerBitJ(clockHz);
+    return per_cycle * static_cast<double>(totalBits(payloadBytes));
+}
+
+double
+I2cModel::energyPerGoodputBitJ(std::size_t payloadBytes,
+                               double clockHz) const
+{
+    if (payloadBytes == 0)
+        return 0.0;
+    return messageEnergyJ(payloadBytes, clockHz) /
+           (8.0 * static_cast<double>(payloadBytes));
+}
+
+} // namespace baseline
+} // namespace mbus

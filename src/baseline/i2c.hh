@@ -1,0 +1,110 @@
+/**
+ * @file
+ * I2C energy and overhead models (Secs 2.1 and 6.2).
+ *
+ * The open-collector pull-up is the energy story: each clock cycle
+ * dissipates energy in three places --
+ *
+ *   1. dumping the charge stored in the bus when pulling low
+ *      (0.5 * C * (r*V)^2, where r is the 80% logic-high fraction),
+ *   2. the resistor while pulling up (C*V*rV - 0.5*C*(rV)^2),
+ *   3. the resistor while the line is held low (V^2 * t_low / R).
+ *
+ * With the paper's relaxed micro-scale numbers (50 pF, 1.2 V,
+ * 400 kHz, 15.5 kOhm) these are the 23 pJ + 35 pJ + 116 pJ that sum
+ * to the 69.6 uW clock figure in Section 2.1 -- reproduced exactly by
+ * this model and asserted in tests.
+ *
+ * "Oracle I2C" (Sec 6.2) knows the true bus capacitance and sizes the
+ * largest resistor that still meets timing, with the full half-cycle
+ * available for the rise. Standard I2C must size for the fixed
+ * 300 ns fast-mode rise budget.
+ */
+
+#ifndef MBUS_BASELINE_I2C_HH
+#define MBUS_BASELINE_I2C_HH
+
+#include <cstddef>
+
+namespace mbus {
+namespace baseline {
+
+/** How the pull-up resistor is sized. */
+enum class I2cSizing {
+    Standard, ///< Fixed fast-mode rise budget (300 ns).
+    Oracle,   ///< Exact C known; rise may take the full half cycle.
+};
+
+/**
+ * An analytic I2C bus model.
+ */
+class I2cModel
+{
+  public:
+    /**
+     * @param busCapF Total bus capacitance in farads.
+     * @param vdd Supply voltage.
+     * @param sizing Pull-up sizing discipline.
+     */
+    I2cModel(double busCapF, double vdd, I2cSizing sizing);
+
+    /**
+     * Build the paper's per-node capacitance model: each node adds
+     * one pad (2 pF) plus its share of wire (0.25 pF) per line.
+     */
+    static I2cModel forNodeCount(int nodes, I2cSizing sizing);
+
+    /** Pull-up resistance for a given clock frequency, ohms. */
+    double pullUpOhms(double clockHz) const;
+
+    /** Energy dumped to ground per SCL cycle (the "23 pJ"), joules. */
+    double dumpEnergyJ() const;
+
+    /** Resistor loss while charging per cycle (the "35 pJ"), joules. */
+    double chargeLossJ() const;
+
+    /** Resistor loss during the low half-cycle (the "116 pJ"). */
+    double lowPhaseLossJ(double clockHz) const;
+
+    /** Total SCL energy per clock cycle. */
+    double clockEnergyPerCycleJ(double clockHz) const;
+
+    /** SCL power at a clock frequency (the "69.6 uW"), watts. */
+    double clockPowerW(double clockHz) const;
+
+    /**
+     * Average SDA energy per bit for random data: half the cycles
+     * toggle and the line is low half the time.
+     */
+    double dataEnergyPerBitJ(double clockHz) const;
+
+    /** Total bus power (SCL + average SDA) at a clock frequency. */
+    double totalPowerW(double clockHz) const;
+
+    // --- Protocol overhead (Table 1: 10 + n bits) ----------------------
+
+    /** Overhead bits for an n-byte message. */
+    static std::size_t overheadBits(std::size_t payloadBytes);
+
+    /** Total bus clock cycles for an n-byte message. */
+    static std::size_t totalBits(std::size_t payloadBytes);
+
+    /** Energy for an entire n-byte message at @p clockHz. */
+    double messageEnergyJ(std::size_t payloadBytes, double clockHz) const;
+
+    /** Energy per payload (goodput) bit for an n-byte message. */
+    double energyPerGoodputBitJ(std::size_t payloadBytes,
+                                double clockHz) const;
+
+    double busCapF() const { return busCapF_; }
+
+  private:
+    double busCapF_;
+    double vdd_;
+    I2cSizing sizing_;
+};
+
+} // namespace baseline
+} // namespace mbus
+
+#endif // MBUS_BASELINE_I2C_HH

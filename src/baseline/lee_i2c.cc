@@ -1,0 +1,3 @@
+// LeeI2cModel is header-only; this file anchors the library target.
+
+#include "baseline/lee_i2c.hh"

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Lee's I2C variant (Sec 2.2, [14]): pull-up replaced by active
+ * drive plus a bus-keeper, at the cost of a local clock running 5x
+ * the bus clock and hand-tuned process-specific ratioed logic.
+ */
+
+#ifndef MBUS_BASELINE_LEE_I2C_HH
+#define MBUS_BASELINE_LEE_I2C_HH
+
+#include <cstddef>
+
+#include "power/constants.hh"
+
+namespace mbus {
+namespace baseline {
+
+/** Analytic model of Lee's I2C-like bus. */
+class LeeI2cModel
+{
+  public:
+    /** Measured bus energy per bit (Sec 2.2): 88 pJ, 4x MBus. */
+    static double
+    energyPerBitJ()
+    {
+        return power::kLeeI2cEnergyPerBitJ;
+    }
+
+    /** Required local clock frequency for a given bus clock. */
+    static double
+    internalClockHz(double busClockHz)
+    {
+        return power::kLeeI2cClockRatio * busClockHz;
+    }
+
+    /** Protocol overhead matches I2C framing: 10 + n bits. */
+    static std::size_t
+    overheadBits(std::size_t payloadBytes)
+    {
+        return 10 + payloadBytes;
+    }
+
+    /** Total bus cycles for an n-byte message. */
+    static std::size_t
+    totalBits(std::size_t payloadBytes)
+    {
+        return 8 * payloadBytes + overheadBits(payloadBytes);
+    }
+
+    /**
+     * The wakeup sequence (start bit then stop bit) that must precede
+     * messages to sleeping chips, plus chip-specific guard time --
+     * the hand-tuning problem MBus eliminates (Sec 2.5). Expressed in
+     * bus-clock cycles.
+     */
+    static constexpr std::size_t kWakeupSequenceBits = 2;
+
+    /** Message energy including the unconditional wakeup sequence. */
+    static double
+    messageEnergyJ(std::size_t payloadBytes, bool includeWakeup)
+    {
+        std::size_t bits = totalBits(payloadBytes) +
+                           (includeWakeup ? kWakeupSequenceBits : 0);
+        return energyPerBitJ() * static_cast<double>(bits);
+    }
+};
+
+} // namespace baseline
+} // namespace mbus
+
+#endif // MBUS_BASELINE_LEE_I2C_HH

@@ -1,0 +1,3 @@
+// SpiModel is header-only; this file anchors the library target.
+
+#include "baseline/spi.hh"

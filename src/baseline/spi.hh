@@ -1,0 +1,101 @@
+/**
+ * @file
+ * SPI model (Sec 2.3): single-ended, near-zero protocol overhead,
+ * but one chip-select line per slave and a mandatory single master.
+ *
+ * The model captures the three costs the paper argues make SPI
+ * unsuitable for micro-scale systems:
+ *  - pad count grows with population: 3 + n pads (Table 1);
+ *  - slave-to-slave traffic relays through the master (2x bus energy
+ *    plus master CPU cycles);
+ *  - interrupts need an extra out-of-band line per slave.
+ */
+
+#ifndef MBUS_BASELINE_SPI_HH
+#define MBUS_BASELINE_SPI_HH
+
+#include <cstddef>
+
+#include "power/constants.hh"
+
+namespace mbus {
+namespace baseline {
+
+/** Analytic SPI model. */
+class SpiModel
+{
+  public:
+    /** Pads required on the shared bus for @p slaves (Table 1). */
+    static int
+    padCount(int slaves)
+    {
+        return 3 + slaves; // SCLK, MOSI, MISO + one CS per slave.
+    }
+
+    /** Protocol overhead in bit-times: CS assert + deassert. */
+    static std::size_t
+    overheadBits(std::size_t)
+    {
+        return 2;
+    }
+
+    /** Total bit-times for an n-byte transfer. */
+    static std::size_t
+    totalBits(std::size_t payloadBytes)
+    {
+        return 8 * payloadBytes + overheadBits(payloadBytes);
+    }
+
+    /**
+     * Switching energy per bit: SCLK toggles twice per bit and data
+     * toggles half the time on a pad+wire+pad load; no pull-ups.
+     */
+    static double
+    energyPerBitJ()
+    {
+        double edge = power::kSegmentEdgeEnergyJ;
+        return 2.5 * edge;
+    }
+
+    /** Energy for a master-to-slave message. */
+    static double
+    messageEnergyJ(std::size_t payloadBytes)
+    {
+        return energyPerBitJ() *
+               static_cast<double>(totalBits(payloadBytes));
+    }
+
+    /**
+     * Energy for slave-to-slave: the message crosses the bus twice
+     * and the master CPU copies it (Sec 2.3 "more than doubles").
+     *
+     * @param cpuCyclesPerByte Master cycles to relay one byte.
+     */
+    static double
+    slaveToSlaveEnergyJ(std::size_t payloadBytes,
+                        double cpuCyclesPerByte = 6.25)
+    {
+        double relay_cycles =
+            cpuCyclesPerByte * static_cast<double>(payloadBytes);
+        return 2.0 * messageEnergyJ(payloadBytes) +
+               relay_cycles * power::kProcessorEnergyPerCycleJ;
+    }
+
+    /**
+     * Daisy-chained SPI (Sec 2.3): the system is one long shift
+     * register, so every transfer shifts through every device's
+     * buffer: overhead proportional to devices and buffer size.
+     */
+    static std::size_t
+    daisyChainTotalBits(std::size_t payloadBytes, int devices,
+                        std::size_t bufferBitsPerDevice)
+    {
+        return 8 * payloadBytes +
+               static_cast<std::size_t>(devices) * bufferBitsPerDevice;
+    }
+};
+
+} // namespace baseline
+} // namespace mbus
+
+#endif // MBUS_BASELINE_SPI_HH

@@ -1,0 +1,3 @@
+// UartModel is header-only; this file anchors the library target.
+
+#include "baseline/uart.hh"

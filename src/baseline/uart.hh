@@ -1,0 +1,54 @@
+/**
+ * @file
+ * UART framing model (Fig 10): 8-bit frames, one start bit, one or
+ * two stop bits, no parity -- overhead of (2-3) bits per byte.
+ */
+
+#ifndef MBUS_BASELINE_UART_HH
+#define MBUS_BASELINE_UART_HH
+
+#include <cstddef>
+
+namespace mbus {
+namespace baseline {
+
+/** Analytic UART model. */
+class UartModel
+{
+  public:
+    /**
+     * @param stopBits 1 or 2 (Fig 10 plots both).
+     */
+    explicit UartModel(int stopBits) : stopBits_(stopBits) {}
+
+    /** Overhead bits for an n-byte message. */
+    std::size_t
+    overheadBits(std::size_t payloadBytes) const
+    {
+        return payloadBytes * (1 + static_cast<std::size_t>(stopBits_));
+    }
+
+    /** Total bit-times on the wire. */
+    std::size_t
+    totalBits(std::size_t payloadBytes) const
+    {
+        return 8 * payloadBytes + overheadBits(payloadBytes);
+    }
+
+    /** Pads for an n-node system: 2 per directed pair (Table 1). */
+    static int
+    padCount(int nodes)
+    {
+        return 2 * nodes;
+    }
+
+    int stopBits() const { return stopBits_; }
+
+  private:
+    int stopBits_;
+};
+
+} // namespace baseline
+} // namespace mbus
+
+#endif // MBUS_BASELINE_UART_HH

@@ -1,0 +1,319 @@
+#include "bitbang/bitbang_mbus.hh"
+
+#include <algorithm>
+
+#include "mbus/protocol.hh"
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace bitbang {
+
+BitbangMbus::BitbangMbus(sim::Simulator &sim, Config cfg,
+                         wire::Net &clkIn, wire::Net &clkOut,
+                         wire::Net &dataIn, wire::Net &dataOut)
+    : sim_(sim), cfg_(cfg), clkIn_(clkIn), clkOut_(clkOut),
+      dataIn_(dataIn), dataOut_(dataOut)
+{
+    clkIn_.subscribe(wire::Edge::Any,
+                     [this](bool level) { onClkEdge(level); });
+    dataIn_.subscribe(wire::Edge::Any,
+                      [this](bool level) { onDataEdge(level); });
+}
+
+void
+BitbangMbus::runIsr(int bodyCycles, std::function<void()> action)
+{
+    const auto &cost = cfg_.cost;
+    int total = cost.isrEntryCycles + bodyCycles + cost.isrExitCycles;
+    maxPathCycles_ = std::max(maxPathCycles_, total);
+
+    // One CPU: a new interrupt waits for the running ISR to retire.
+    sim::SimTime start = sim_.now();
+    if (cpuBusyUntil_ > start) {
+        ++stats_.serializationStalls;
+        start = cpuBusyUntil_;
+    }
+    sim::SimTime done = start + cfg_.cost.cyclesToTime(total);
+    cpuBusyUntil_ = done;
+
+    ++stats_.isrInvocations;
+    stats_.cyclesSpent += static_cast<std::uint64_t>(total);
+
+    // The output write is the last instruction before RETI: model the
+    // whole response as landing at ISR retirement.
+    sim_.scheduleAt(done, std::move(action));
+}
+
+void
+BitbangMbus::onClkEdge(bool level)
+{
+    const auto &cost = cfg_.cost;
+    int body = cost.gpioReadCycles + cost.dispatchCycles +
+               cost.stateUpdateCycles + cost.gpioWriteCycles +
+               2 * cost.gpioReadCycles + 2 * cost.gpioWriteCycles + 1;
+    runIsr(body, [this, level] { clkIsrBody(level); });
+}
+
+void
+BitbangMbus::onDataEdge(bool level)
+{
+    const auto &cost = cfg_.cost;
+    int body = cost.gpioReadCycles + cost.dispatchCycles +
+               cost.stateUpdateCycles;
+    runIsr(body, [this, level] { dataIsrBody(level); });
+}
+
+void
+BitbangMbus::clkIsrBody(bool level)
+{
+    intjCount_ = 0; // CLK edge resets the software interjection counter.
+
+    // Forward first (the write is what downstream timing sees).
+    if (fwdClk_)
+        clkOut_.drive(level);
+
+    if (phase_ == Phase::Idle) {
+        phase_ = Phase::Active;
+        role_ = Role::None;
+        rising_ = falling_ = 0;
+        wonArb_ = false;
+        addressResolved_ = false;
+        addrAccum_ = 0;
+        addrBitsSeen_ = 0;
+        addrBitsExpected_ = 8;
+        rxBytes_.clear();
+        rxBitBuffer_ = 0;
+        rxBitsPending_ = 0;
+    }
+
+    if (level)
+        ++rising_;
+    else
+        ++falling_;
+
+    if (phase_ == Phase::IntjWait)
+        return;
+
+    if (phase_ == Phase::Control) {
+        if (level) {
+            std::uint32_t rc = rising_ - ctlRising_;
+            if (rc == 2) {
+                ctlBit0_ = dataIn_.value();
+            } else if (rc == 3) {
+                bool bit1 = dataIn_.value();
+                if (role_ == Role::Tx && !txQueue_.empty()) {
+                    auto tx = std::move(txQueue_.front());
+                    txQueue_.pop_front();
+                    ++stats_.messagesSent;
+                    if (tx.cb) {
+                        bus::TxResult result;
+                        result.status =
+                            (ctlBit0_ && !bit1)
+                                ? bus::TxStatus::Ack
+                                : (ctlBit0_ ? bus::TxStatus::Nak
+                                            : bus::TxStatus::
+                                                  GeneralError);
+                        result.bytesSent = tx.msg.payload.size();
+                        result.completedAt = sim_.now();
+                        auto cb = std::move(tx.cb);
+                        sim_.schedule(0, [cb, result] { cb(result); });
+                    }
+                }
+                if (role_ == Role::Rx && ctlBit0_ && rxCb_) {
+                    ++stats_.messagesReceived;
+                    bus::ReceivedMessage rx;
+                    rx.dest = rxAddr_;
+                    rx.payload = rxBytes_;
+                    rx.receivedAt = sim_.now();
+                    auto cb = rxCb_;
+                    sim_.schedule(0, [cb, rx] { cb(rx); });
+                }
+            } else if (rc == 4) {
+                beginIdle();
+            }
+        } else {
+            std::uint32_t fc = falling_ - ctlFalling_;
+            if (fc == 2 && iAmInterjector_) {
+                fwdData_ = false;
+                dataOut_.drive(true); // Bit 0: end of message.
+            } else if (fc == 3) {
+                if (iAmInterjector_) {
+                    fwdData_ = true;
+                    dataOut_.drive(dataIn_.value());
+                }
+                if (role_ == Role::Rx && ctlBit0_ &&
+                    !rxAddr_.isBroadcast()) {
+                    fwdData_ = false;
+                    dataOut_.drive(false); // ACK.
+                }
+            } else if (fc == 4) {
+                fwdData_ = true;
+                dataOut_.drive(dataIn_.value());
+            }
+        }
+        return;
+    }
+
+    if (level)
+        handleRising(dataIn_.value());
+    else
+        handleFalling();
+}
+
+void
+BitbangMbus::handleRising(bool dataAtIsr)
+{
+    if (rising_ == 1) {
+        if (requested_)
+            wonArb_ = dataAtIsr;
+        return;
+    }
+    if (rising_ == 2) {
+        if (wonArb_ && dataAtIsr)
+            wonArb_ = false; // Priority request upstream: back off.
+        return;
+    }
+    if (rising_ == 3) {
+        if (wonArb_) {
+            role_ = Role::Tx;
+            const bus::Message &msg = txQueue_.front().msg;
+            txBits_.clear();
+            std::uint32_t enc = msg.dest.encoded();
+            for (int i = msg.dest.bitCount() - 1; i >= 0; --i)
+                txBits_.push_back((enc >> i) & 1);
+            for (std::uint8_t byte : msg.payload)
+                for (int i = 7; i >= 0; --i)
+                    txBits_.push_back((byte >> i) & 1);
+            txTotal_ = static_cast<std::uint32_t>(txBits_.size());
+        } else {
+            role_ = Role::Fwd;
+            // Lost arbitration: retry from the next idle window.
+        }
+        requested_ = false;
+        return;
+    }
+
+    if (role_ == Role::Tx) {
+        if (rising_ == 3 + txTotal_) {
+            // End of message: stop forwarding CLK (hold it high).
+            iAmInterjector_ = true;
+            fwdClk_ = false;
+            phase_ = Phase::IntjWait;
+        }
+        return;
+    }
+
+    // Latch.
+    if (!addressResolved_) {
+        addrAccum_ = (addrAccum_ << 1) | (dataAtIsr ? 1 : 0);
+        ++addrBitsSeen_;
+        if (addrBitsSeen_ == 4 &&
+            (addrAccum_ & 0xF) == bus::kFullAddressMarker) {
+            addrBitsExpected_ = 32;
+        }
+        if (addrBitsSeen_ == addrBitsExpected_) {
+            addressResolved_ = true;
+            if (addrBitsExpected_ == 8) {
+                rxAddr_ = bus::Address::decodeShort(
+                    static_cast<std::uint8_t>(addrAccum_ & 0xFF));
+                if (!rxAddr_.isBroadcast() && cfg_.shortPrefix != 0 &&
+                    rxAddr_.shortPrefix() == cfg_.shortPrefix) {
+                    role_ = Role::Rx;
+                }
+            }
+        }
+        return;
+    }
+    if (role_ == Role::Rx) {
+        rxBitBuffer_ = (rxBitBuffer_ << 1) | (dataAtIsr ? 1 : 0);
+        if (++rxBitsPending_ == 8) {
+            rxBytes_.push_back(
+                static_cast<std::uint8_t>(rxBitBuffer_ & 0xFF));
+            rxBitBuffer_ = 0;
+            rxBitsPending_ = 0;
+        }
+    }
+}
+
+void
+BitbangMbus::handleFalling()
+{
+    if (falling_ == 2) {
+        if (requested_ && !wonArb_) {
+            fwdData_ = true;
+            dataOut_.drive(dataIn_.value()); // Release the request.
+        }
+        return;
+    }
+    if (falling_ == 3) {
+        if (wonArb_) {
+            fwdData_ = false;
+            dataOut_.drive(true); // Reserved cycle: park high.
+        }
+        return;
+    }
+    if (falling_ >= 4 && role_ == Role::Tx) {
+        std::uint32_t idx = falling_ - 4;
+        if (idx < txTotal_)
+            dataOut_.drive(txBits_[idx] != 0);
+    }
+}
+
+void
+BitbangMbus::dataIsrBody(bool level)
+{
+    if (fwdData_)
+        dataOut_.drive(level);
+
+    // Software interjection detector.
+    if (phase_ == Phase::Idle)
+        return;
+    if (++intjCount_ >= 3 && phase_ != Phase::Control) {
+        // Switch role (Fig 7): release every hold -- the transmitter
+        // too, so the mediator's toggles propagate the whole ring.
+        phase_ = Phase::Control;
+        ctlRising_ = rising_;
+        ctlFalling_ = falling_;
+        ctlBit0_ = false;
+        fwdClk_ = true;
+        clkOut_.drive(clkIn_.value());
+        fwdData_ = true;
+        dataOut_.drive(dataIn_.value());
+        // Byte alignment: drop any partial byte.
+        rxBitBuffer_ = 0;
+        rxBitsPending_ = 0;
+    }
+}
+
+void
+BitbangMbus::beginIdle()
+{
+    phase_ = Phase::Idle;
+    role_ = Role::None;
+    iAmInterjector_ = false;
+    rising_ = falling_ = 0;
+    fwdClk_ = true;
+    fwdData_ = true;
+    sim::SimTime guard = 4 * cfg_.cost.responseLatency();
+    sim_.schedule(guard, [this] { tryRequest(); });
+}
+
+void
+BitbangMbus::send(bus::Message msg, bus::SendCallback cb)
+{
+    txQueue_.push_back(PendingTx{std::move(msg), std::move(cb)});
+    tryRequest();
+}
+
+void
+BitbangMbus::tryRequest()
+{
+    if (txQueue_.empty() || requested_ || phase_ != Phase::Idle)
+        return;
+    requested_ = true;
+    fwdData_ = false;
+    dataOut_.drive(false); // Request the bus.
+}
+
+} // namespace bitbang
+} // namespace mbus

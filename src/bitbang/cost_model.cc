@@ -1,0 +1,24 @@
+#include "bitbang/cost_model.hh"
+
+namespace mbus {
+namespace bitbang {
+
+// Keep the synthetic cost breakdown honest: it must reproduce the
+// paper's measured 65-cycle worst path.
+static_assert(true, "");
+
+namespace {
+constexpr Msp430CostModel kDefault{};
+static_assert(kDefault.isrEntryCycles + kDefault.gpioReadCycles +
+                      kDefault.dispatchCycles +
+                      kDefault.stateUpdateCycles +
+                      kDefault.gpioWriteCycles +
+                      kDefault.gpioReadCycles * 2 +
+                      kDefault.gpioWriteCycles * 2 +
+                      kDefault.isrExitCycles + 1 ==
+                  65,
+              "worst-case path must match the paper's 65 cycles");
+} // namespace
+
+} // namespace bitbang
+} // namespace mbus

@@ -1,0 +1,80 @@
+#include "bitbang/mixed_ring.hh"
+
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace bitbang {
+
+MixedRing::MixedRing(sim::Simulator &sim, bus::SystemConfig cfg,
+                     BitbangMbus::Config bitbangCfg)
+    : sim_(sim), cfg_(std::move(cfg)), ledger_(3)
+{
+    // The software member's response latency dominates the ring
+    // round trip. Budget 2.5x its worst path: CLK and DATA edges can
+    // land back-to-back and serialize on the single CPU.
+    cfg_.extraRingLatency = 2 * bitbangCfg.cost.responseLatency() +
+                            bitbangCfg.cost.responseLatency() / 2;
+
+    double max_hz =
+        1.0 / (2.0 * (5.0 * sim::toSeconds(cfg_.hopDelay) +
+                      sim::toSeconds(cfg_.extraRingLatency)));
+    if (cfg_.busClockHz > max_hz) {
+        mbus_fatal("mixed-ring bus clock ", cfg_.busClockHz,
+                   " Hz too fast for the bitbang member (max ~",
+                   max_hz, " Hz)");
+    }
+
+    for (int i = 0; i < 3; ++i) {
+        clkSegs_[i] = std::make_unique<wire::Net>(
+            sim_, "mix.clk" + std::to_string(i), cfg_.hopDelay, true);
+        dataSegs_[i] = std::make_unique<wire::Net>(
+            sim_, "mix.data" + std::to_string(i), cfg_.hopDelay, true);
+    }
+
+    bus::NodeConfig c0;
+    c0.name = "hw0";
+    c0.fullPrefix = 0x11111;
+    c0.staticShortPrefix = 1;
+    c0.powerGated = false;
+    bus::NodeConfig c1;
+    c1.name = "hw1";
+    c1.fullPrefix = 0x22222;
+    c1.staticShortPrefix = 2;
+    c1.powerGated = false;
+
+    hw0_ = std::make_unique<bus::Node>(sim_, cfg_, c0, 0, ledger_,
+                                       energy_);
+    hw1_ = std::make_unique<bus::Node>(sim_, cfg_, c1, 1, ledger_,
+                                       energy_);
+
+    link_ = std::make_unique<bus::MediatorHostLink>();
+
+    // Ring: node0 -> seg0 -> node1 -> seg1 -> bitbang -> seg2 -> node0.
+    hw0_->bind(*clkSegs_[2], *clkSegs_[0], *dataSegs_[2], *dataSegs_[0],
+               {}, {}, /*isMediatorHost=*/true, link_.get());
+    hw1_->bind(*clkSegs_[0], *clkSegs_[1], *dataSegs_[0], *dataSegs_[1],
+               {}, {}, /*isMediatorHost=*/false, nullptr);
+    bitbang_ = std::make_unique<BitbangMbus>(
+        sim_, bitbangCfg, *clkSegs_[1], *clkSegs_[2], *dataSegs_[1],
+        *dataSegs_[2]);
+
+    bus::Mediator::Context mctx{sim_,
+                                cfg_,
+                                *clkSegs_[2],
+                                *dataSegs_[2],
+                                hw0_->clkWireController(),
+                                hw0_->dataWireController(),
+                                ledger_,
+                                energy_,
+                                /*nodeId=*/0,
+                                /*ringSize=*/3,
+                                *link_};
+    mediator_ = std::make_unique<bus::Mediator>(std::move(mctx));
+    mediator_->arm();
+    link_->requestInterjection = [this] {
+        mediator_->hostInterjectionRequest();
+    };
+}
+
+} // namespace bitbang
+} // namespace mbus

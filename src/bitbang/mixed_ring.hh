@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A hand-assembled ring mixing hardware MBus nodes with a bitbanged
+ * software member -- the interoperability scenario of Section 6.6.
+ *
+ * Topology: node0 (hardware, hosts the mediator) -> node1 (hardware)
+ * -> bitbang member -> back to node0. The software member's ISR
+ * response latency is charged to the ring budget via
+ * SystemConfig::extraRingLatency.
+ */
+
+#ifndef MBUS_BITBANG_MIXED_RING_HH
+#define MBUS_BITBANG_MIXED_RING_HH
+
+#include <memory>
+
+#include "bitbang/bitbang_mbus.hh"
+#include "mbus/mediator.hh"
+#include "mbus/node.hh"
+#include "power/energy.hh"
+#include "power/switching.hh"
+#include "sim/simulator.hh"
+
+namespace mbus {
+namespace bitbang {
+
+/** Two hardware nodes plus one bitbang member on one ring. */
+class MixedRing
+{
+  public:
+    /**
+     * @param sim Owning simulator.
+     * @param cfg System config; extraRingLatency is overwritten with
+     *        the bitbang member's response latency.
+     * @param bitbangCfg Software member configuration.
+     */
+    MixedRing(sim::Simulator &sim, bus::SystemConfig cfg,
+              BitbangMbus::Config bitbangCfg);
+
+    bus::Node &hw0() { return *hw0_; }
+    bus::Node &hw1() { return *hw1_; }
+    BitbangMbus &softNode() { return *bitbang_; }
+    bus::Mediator &mediator() { return *mediator_; }
+    bus::SystemConfig &config() { return cfg_; }
+    power::EnergyLedger &ledger() { return ledger_; }
+
+  private:
+    sim::Simulator &sim_;
+    bus::SystemConfig cfg_;
+    power::EnergyLedger ledger_;
+    power::SwitchingEnergyModel energy_;
+
+    std::unique_ptr<wire::Net> clkSegs_[3];
+    std::unique_ptr<wire::Net> dataSegs_[3];
+    std::unique_ptr<bus::Node> hw0_;
+    std::unique_ptr<bus::Node> hw1_;
+    std::unique_ptr<BitbangMbus> bitbang_;
+    std::unique_ptr<bus::MediatorHostLink> link_;
+    std::unique_ptr<bus::Mediator> mediator_;
+};
+
+} // namespace bitbang
+} // namespace mbus
+
+#endif // MBUS_BITBANG_MIXED_RING_HH

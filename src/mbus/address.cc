@@ -1,0 +1,99 @@
+#include "mbus/address.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace bus {
+
+Address
+Address::shortAddr(std::uint8_t prefix, std::uint8_t fuId)
+{
+    if (prefix == kBroadcastPrefix || prefix == kFullAddressMarker)
+        mbus_fatal("short prefix ", int(prefix), " is reserved");
+    if (prefix > 0xF || fuId > 0xF)
+        mbus_fatal("short prefix / FU-ID out of 4-bit range");
+    Address a;
+    a.full_ = false;
+    a.prefix_ = prefix;
+    a.fuId_ = fuId;
+    return a;
+}
+
+Address
+Address::fullAddr(std::uint32_t fullPrefix, std::uint8_t fuId)
+{
+    if (fullPrefix >= (1u << kFullPrefixBits))
+        mbus_fatal("full prefix exceeds ", kFullPrefixBits, " bits");
+    if (fuId > 0xF)
+        mbus_fatal("FU-ID out of 4-bit range");
+    Address a;
+    a.full_ = true;
+    a.prefix_ = kFullAddressMarker;
+    a.fullPrefix_ = fullPrefix;
+    a.fuId_ = fuId;
+    return a;
+}
+
+Address
+Address::broadcast(std::uint8_t channel)
+{
+    if (channel > 0xF)
+        mbus_fatal("broadcast channel out of 4-bit range");
+    Address a;
+    a.full_ = false;
+    a.prefix_ = kBroadcastPrefix;
+    a.fuId_ = channel;
+    return a;
+}
+
+Address
+Address::decodeShort(std::uint8_t byte)
+{
+    Address a;
+    a.full_ = false;
+    a.prefix_ = static_cast<std::uint8_t>(byte >> 4);
+    a.fuId_ = static_cast<std::uint8_t>(byte & 0xF);
+    return a;
+}
+
+Address
+Address::decodeFull(std::uint32_t word)
+{
+    Address a;
+    a.full_ = true;
+    a.prefix_ = kFullAddressMarker;
+    a.fullPrefix_ = (word >> 8) & ((1u << kFullPrefixBits) - 1);
+    a.fuId_ = static_cast<std::uint8_t>((word >> 4) & 0xF);
+    return a;
+}
+
+std::uint32_t
+Address::encoded() const
+{
+    if (!full_) {
+        return (static_cast<std::uint32_t>(prefix_) << 4) |
+               static_cast<std::uint32_t>(fuId_);
+    }
+    return (static_cast<std::uint32_t>(kFullAddressMarker) << 28) |
+           (fullPrefix_ << 8) | (static_cast<std::uint32_t>(fuId_) << 4);
+}
+
+std::string
+Address::toString() const
+{
+    std::ostringstream os;
+    if (isBroadcast()) {
+        os << "bcast(ch=" << int(fuId_) << ")";
+    } else if (full_) {
+        os << "full(0x" << std::hex << fullPrefix_ << std::dec << "."
+           << int(fuId_) << ")";
+    } else {
+        os << "short(" << int(prefix_) << "." << int(fuId_) << ")";
+    }
+    return os.str();
+}
+
+} // namespace bus
+} // namespace mbus

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * MBus addressing: short prefixes, full prefixes, FU-IDs, broadcast.
+ *
+ * A short address is one byte: {4-bit prefix, 4-bit FU-ID}. Prefix 0
+ * is broadcast (the FU-ID field then selects a broadcast channel);
+ * prefix 0xF introduces a full address. A full address is one 32-bit
+ * word: {0xF marker, 20-bit full prefix, 4-bit FU-ID, 4 reserved
+ * bits}. The paper fixes the marker, prefix, and FU-ID widths; the
+ * placement of the reserved nibble is our documented layout choice
+ * (DESIGN.md section 4).
+ */
+
+#ifndef MBUS_BUS_ADDRESS_HH
+#define MBUS_BUS_ADDRESS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mbus/protocol.hh"
+
+namespace mbus {
+namespace bus {
+
+/**
+ * An MBus destination address (short, full, or broadcast).
+ */
+class Address
+{
+  public:
+    /** Default: broadcast channel 0 (harmless but rarely wanted). */
+    Address() = default;
+
+    /**
+     * Build a short address.
+     *
+     * @param prefix Short prefix, 1..14 (0 and 0xF are reserved).
+     * @param fuId Functional unit, 0..15.
+     */
+    static Address shortAddr(std::uint8_t prefix, std::uint8_t fuId);
+
+    /**
+     * Build a full (32-bit) address from a 20-bit chip prefix.
+     */
+    static Address fullAddr(std::uint32_t fullPrefix, std::uint8_t fuId);
+
+    /** Build a broadcast address for @p channel (0..15). */
+    static Address broadcast(std::uint8_t channel);
+
+    /** Decode a received 8-bit short/broadcast address byte. */
+    static Address decodeShort(std::uint8_t byte);
+
+    /** Decode a received 32-bit full address word. */
+    static Address decodeFull(std::uint32_t word);
+
+    /** @return true for broadcast addresses (short prefix 0). */
+    bool isBroadcast() const { return !full_ && prefix_ == kBroadcastPrefix; }
+
+    /** @return true for 32-bit full addresses. */
+    bool isFull() const { return full_; }
+
+    /** Number of address bits on the wire (8 or 32). */
+    int bitCount() const { return full_ ? 32 : 8; }
+
+    /** Short prefix (meaningless for full addresses). */
+    std::uint8_t shortPrefix() const { return prefix_; }
+
+    /** 20-bit full prefix (meaningless for short addresses). */
+    std::uint32_t fullPrefix() const { return fullPrefix_; }
+
+    /** Functional unit id; for broadcast this is the channel. */
+    std::uint8_t fuId() const { return fuId_; }
+
+    /** Broadcast channel (alias of fuId for broadcast addresses). */
+    std::uint8_t channel() const { return fuId_; }
+
+    /**
+     * Wire encoding, MSB first. Short/broadcast addresses occupy the
+     * low 8 bits; full addresses the low 32 bits.
+     */
+    std::uint32_t encoded() const;
+
+    /** Human-readable rendering for logs. */
+    std::string toString() const;
+
+    bool
+    operator==(const Address &other) const
+    {
+        return full_ == other.full_ && prefix_ == other.prefix_ &&
+               fullPrefix_ == other.fullPrefix_ && fuId_ == other.fuId_;
+    }
+
+  private:
+    bool full_ = false;
+    std::uint8_t prefix_ = kBroadcastPrefix;
+    std::uint32_t fullPrefix_ = 0;
+    std::uint8_t fuId_ = 0;
+};
+
+} // namespace bus
+} // namespace mbus
+
+#endif // MBUS_BUS_ADDRESS_HH

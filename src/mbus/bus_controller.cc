@@ -1,0 +1,673 @@
+#include "mbus/bus_controller.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace bus {
+
+namespace {
+
+/** Data cycles needed for @p payloadBits across @p lanes. */
+std::uint32_t
+dataCycles(std::size_t payloadBits, int lanes)
+{
+    if (payloadBits == 0)
+        return 0;
+    return static_cast<std::uint32_t>(
+        (payloadBits + static_cast<std::size_t>(lanes) - 1) /
+        static_cast<std::size_t>(lanes));
+}
+
+} // namespace
+
+BusController::BusController(BusControllerContext ctx, NodeConfig cfg)
+    : ctx_(std::move(ctx)), cfg_(std::move(cfg))
+{
+    if (cfg_.staticShortPrefix)
+        shortPrefix_ = *cfg_.staticShortPrefix;
+}
+
+void
+BusController::send(Message msg, SendCallback cb, bool cancelOnArbLoss)
+{
+    if (!msg.dest.isBroadcast() && !msg.dest.isFull() &&
+        msg.dest.shortPrefix() == shortPrefix_) {
+        sim::warn("node ", ctx_.nodeId, " sending to its own short prefix");
+    }
+    txQueue_.push_back(
+        PendingTx{std::move(msg), std::move(cb), cancelOnArbLoss, 0});
+    tryRequest();
+}
+
+void
+BusController::tryRequest()
+{
+    if (txQueue_.empty() || txArmed_)
+        return;
+    // A node that decides to transmit powers its own bus controller:
+    // the layer is awake and locally clocked, so the wakeup ladder
+    // runs off the local clock rather than bus edges.
+    if (!ctx_.busDomain.active())
+        ctx_.busDomain.wakeImmediately();
+    if (ctx_.sleepCtl.transactionActive() || phase_ != Phase::Idle)
+        return; // Busy; the post-idle window will retry.
+    txArmed_ = true;
+    ctx_.intCtl.noteBusBusy();
+    // Break the ring: request the bus (Sec 4.3).
+    ctx_.dataCtl.drive(false);
+}
+
+void
+BusController::interject()
+{
+    if (phase_ == Phase::Idle || role_ == Role::Tx)
+        return;
+    wantInterject_ = true;
+    if (dataBytesSeen_ >= kMinProgressBytes && phase_ == Phase::Active &&
+        addressResolved_) {
+        requestInterjection(false);
+    }
+    // Otherwise deferred: checked at each completed byte.
+}
+
+void
+BusController::onPowerLost()
+{
+    // Power gating loses all controller state (Sec 3): model exactly
+    // that by resetting the FSM. The TX queue conceptually lives in
+    // the layer (it re-arms the controller), so it survives.
+    phase_ = Phase::Idle;
+    role_ = Role::None;
+    txArmed_ = false;
+    requestedThisTxn_ = false;
+    wonArb_ = priorityDriven_ = wonPriority_ = backedOff_ = false;
+    addressResolved_ = false;
+    addrAccum_ = 0;
+    addrBitsSeen_ = 0;
+    addrBitsExpected_ = 8;
+    rxBytes_.clear();
+    rxBitBuffer_ = 0;
+    rxBitsPending_ = 0;
+    dataBitsSeen_ = dataBytesSeen_ = 0;
+    iAmInterjector_ = interjectorEom_ = wantInterject_ = false;
+}
+
+void
+BusController::onClkEdge(bool rising)
+{
+    if (!ctx_.busDomain.active())
+        return;
+    beginTransactionIfNeeded();
+    if (phase_ == Phase::Idle)
+        return;
+
+    stepLayerIfNeeded();
+
+    if (phase_ == Phase::Control) {
+        if (rising)
+            handleControlRising(ctx_.sleepCtl.risingCount() -
+                                controlBaseRising_);
+        else
+            handleControlFalling(ctx_.sleepCtl.fallingCount() -
+                                 controlBaseFalling_);
+        return;
+    }
+    if (phase_ == Phase::IntjWait)
+        return; // Holding CLK (or aborted); wait for the interjection.
+
+    if (rising)
+        handleRising(ctx_.sleepCtl.risingCount());
+    else
+        handleFalling(ctx_.sleepCtl.fallingCount());
+}
+
+void
+BusController::beginTransactionIfNeeded()
+{
+    if (phase_ != Phase::Idle || !ctx_.sleepCtl.transactionActive())
+        return;
+    phase_ = Phase::Active;
+    role_ = Role::None;
+    requestedThisTxn_ = txArmed_;
+    wonArb_ = priorityDriven_ = wonPriority_ = backedOff_ = false;
+    addressResolved_ = false;
+    addrAccum_ = 0;
+    addrBitsSeen_ = 0;
+    addrBitsExpected_ = 8;
+    rxBytes_.clear();
+    rxBitBuffer_ = 0;
+    rxBitsPending_ = 0;
+    dataBitsSeen_ = dataBytesSeen_ = 0;
+    iAmInterjector_ = interjectorEom_ = false;
+}
+
+void
+BusController::stepLayerIfNeeded()
+{
+    bool wanted = (role_ == Role::Rx) || ctx_.intCtl.pending();
+    if (wanted && !ctx_.layerDomain.active())
+        ctx_.layerDomain.step();
+}
+
+void
+BusController::handleRising(std::uint32_t r)
+{
+    if (r == 1) {
+        // Arbitration latch (Sec 4.3). The node at the ring break
+        // always wins: normally the mediator host's member port,
+        // or whichever node holds the mutable-priority break role.
+        if (requestedThisTxn_) {
+            bool at_break =
+                ctx_.sysCfg.useNodeArbBreak
+                    ? arbBreakSelf_
+                    : ctx_.isMediatorHost;
+            wonArb_ = at_break || ctx_.localData.value();
+        }
+        return;
+    }
+    if (r == 2) {
+        // Priority-arbitration latch.
+        if (wonArb_) {
+            if (ctx_.localData.value()) {
+                wonArb_ = false;
+                backedOff_ = true;
+            }
+        } else if (priorityDriven_) {
+            wonPriority_ = !ctx_.localData.value();
+        }
+        return;
+    }
+    if (r == 3) {
+        // Reserved-cycle latch: roles are final.
+        txArmed_ = false;
+        if (wonArb_ || wonPriority_) {
+            role_ = Role::Tx;
+            if (wonPriority_)
+                ++stats_.priorityWins;
+            prepareTxBits(txQueue_.front().msg);
+        } else {
+            role_ = Role::Fwd;
+            if (requestedThisTxn_)
+                requeueAfterArbLoss();
+        }
+        return;
+    }
+
+    // Address and data latches: wire cycle index from 0.
+    std::uint32_t cycle = r - 4;
+    if (role_ == Role::Tx) {
+        ctx_.ledger.charge(ctx_.nodeId, power::EnergyCategory::Drive,
+                           ctx_.energy.drivePerBit());
+        if (r == 3 + txTotalCycles_)
+            requestInterjection(true);
+        return;
+    }
+
+    if (!addressResolved_) {
+        latchAddressBit(ctx_.localData.value());
+        (void)cycle;
+    } else {
+        latchDataBits();
+    }
+}
+
+void
+BusController::latchAddressBit(bool bit)
+{
+    addrAccum_ = (addrAccum_ << 1) | (bit ? 1 : 0);
+    ++addrBitsSeen_;
+    if (addrBitsSeen_ == 4 &&
+        (addrAccum_ & 0xF) == kFullAddressMarker) {
+        addrBitsExpected_ = 32;
+    }
+    if (addrBitsSeen_ < addrBitsExpected_)
+        return;
+
+    addressResolved_ = true;
+    bool matched = false;
+    if (addrBitsExpected_ == 8) {
+        rxAddr_ = Address::decodeShort(
+            static_cast<std::uint8_t>(addrAccum_ & 0xFF));
+        if (rxAddr_.isBroadcast()) {
+            matched = (cfg_.broadcastChannels >> rxAddr_.channel()) & 1;
+        } else {
+            matched = hasShortPrefix() &&
+                      rxAddr_.shortPrefix() == shortPrefix_;
+        }
+    } else {
+        rxAddr_ = Address::decodeFull(
+            static_cast<std::uint32_t>(addrAccum_ & 0xFFFFFFFFu));
+        matched = rxAddr_.fullPrefix() == cfg_.fullPrefix;
+    }
+    if (matched)
+        role_ = Role::Rx; // Layer wakeup begins on subsequent edges.
+}
+
+void
+BusController::latchDataBits()
+{
+    int w = lanes();
+    for (int l = 0; l < w; ++l) {
+        if (phase_ != Phase::Active)
+            break; // An RX abort mid-loop stops further latching.
+        bool bit = sampleLane(l);
+        ++dataBitsSeen_;
+        if (role_ == Role::Rx) {
+            ctx_.ledger.charge(ctx_.nodeId, power::EnergyCategory::Fifo,
+                               ctx_.energy.fifoPerBit());
+            rxBitBuffer_ = (rxBitBuffer_ << 1) | (bit ? 1 : 0);
+            if (++rxBitsPending_ == 8) {
+                commitRxByte(static_cast<std::uint8_t>(rxBitBuffer_ &
+                                                       0xFF));
+                rxBitBuffer_ = 0;
+                rxBitsPending_ = 0;
+            }
+        } else if (dataBitsSeen_ % 8 == 0) {
+            ++dataBytesSeen_;
+            if (wantInterject_ && dataBytesSeen_ >= kMinProgressBytes)
+                requestInterjection(false);
+        }
+    }
+}
+
+void
+BusController::commitRxByte(std::uint8_t byte)
+{
+    ++dataBytesSeen_;
+    if (rxBytes_.size() >= cfg_.rxBufferLimit) {
+        // Buffer overrun: the receiver interjects mid-message to
+        // report the error (Sec 4.8).
+        ++stats_.rxAborts;
+        requestInterjection(false);
+        return;
+    }
+    rxBytes_.push_back(byte);
+}
+
+void
+BusController::prepareTxBits(const Message &msg)
+{
+    addrBits_.clear();
+    payloadBits_.clear();
+
+    int addr_bits = msg.dest.bitCount();
+    std::uint32_t encoded = msg.dest.encoded();
+    for (int i = addr_bits - 1; i >= 0; --i)
+        addrBits_.push_back((encoded >> i) & 1);
+
+    for (std::uint8_t byte : msg.payload)
+        for (int i = 7; i >= 0; --i)
+            payloadBits_.push_back((byte >> i) & 1);
+
+    txTotalCycles_ = static_cast<std::uint32_t>(addrBits_.size()) +
+                     dataCycles(payloadBits_.size(), lanes());
+    txCyclesDriven_ = 0;
+}
+
+void
+BusController::handleFalling(std::uint32_t f)
+{
+    if (f == 2) {
+        if (requestedThisTxn_ && !wonArb_) {
+            if (!txQueue_.empty() && txQueue_.front().msg.priority) {
+                priorityDriven_ = true;
+                if (!mediatorOwnsData())
+                    ctx_.dataCtl.drive(true);
+            } else if (!mediatorOwnsData()) {
+                ctx_.dataCtl.forward(); // Lost: release the request.
+            }
+        }
+        return;
+    }
+    if (f == 3) {
+        // Roles finalize on the upcoming reserved latch (r == 3);
+        // at this falling edge the winner is whoever holds the
+        // arbitration or priority claim.
+        bool is_winner = wonArb_ || wonPriority_;
+        if (is_winner) {
+            if (!mediatorOwnsData())
+                ctx_.dataCtl.drive(true); // Reserved cycle: park high.
+        } else if ((backedOff_ || priorityDriven_) &&
+                   !mediatorOwnsData()) {
+            ctx_.dataCtl.forward();
+        }
+        return;
+    }
+    if (f >= 4 && role_ == Role::Tx)
+        driveTxCycle(f - 4);
+}
+
+void
+BusController::driveTxCycle(std::uint32_t cycleIdx)
+{
+    if (mediatorOwnsData())
+        return; // Watchdog fired; the mediator owns the line now.
+    ++txCyclesDriven_;
+    std::size_t addr_count = addrBits_.size();
+    if (cycleIdx < addr_count) {
+        driveLane(0, addrBits_[cycleIdx]);
+        return;
+    }
+    std::uint32_t c = cycleIdx - static_cast<std::uint32_t>(addr_count);
+    int w = lanes();
+    for (int l = 0; l < w; ++l) {
+        std::size_t p = static_cast<std::size_t>(c) * w + l;
+        driveLane(l, p < payloadBits_.size() ? payloadBits_[p] != 0
+                                             : true);
+    }
+}
+
+void
+BusController::driveLane(int lane, bool v)
+{
+    if (lane == 0)
+        ctx_.dataCtl.drive(v);
+    else
+        ctx_.laneCtls[static_cast<std::size_t>(lane - 1)]->drive(v);
+}
+
+void
+BusController::forwardLane(int lane)
+{
+    if (lane == 0)
+        ctx_.dataCtl.forward();
+    else
+        ctx_.laneCtls[static_cast<std::size_t>(lane - 1)]->forward();
+}
+
+bool
+BusController::sampleLane(int lane) const
+{
+    if (lane == 0)
+        return ctx_.localData.value();
+    return ctx_.laneIns[static_cast<std::size_t>(lane - 1)]->value();
+}
+
+void
+BusController::requestInterjection(bool endOfMessage)
+{
+    if (phase_ != Phase::Active)
+        return;
+    iAmInterjector_ = true;
+    interjectorEom_ = endOfMessage;
+    wantInterject_ = false;
+    phase_ = Phase::IntjWait;
+    ++stats_.interjectionsRequested;
+    if (ctx_.isMediatorHost && ctx_.medLink &&
+        ctx_.medLink->requestInterjection) {
+        // The host member shares its CLK drive point with the
+        // mediator; it requests the interjection on-chip.
+        ctx_.medLink->requestInterjection();
+        return;
+    }
+    // Stop forwarding CLK: hold it high. The mediator notices the
+    // broken ring and generates the interjection (Fig 7, events 1-3).
+    ctx_.clkCtl.drive(true);
+}
+
+void
+BusController::onInterjectionDetected()
+{
+    // The detector lives in the always-on domain: it must catch
+    // interjections even while the bus controller is power gated
+    // (a gated controller woken mid-transaction enters directly in
+    // control mode -- this is how null-transaction wakeups work).
+    //
+    // It also fires from *any* state, including idle: the
+    // interjection is the protocol's reliable reset (Sec 4.9), and
+    // the mediator's hung-bus rescue must resynchronize controllers
+    // regardless of what they believe the bus is doing. Legal idle
+    // activity produces at most two quiet DATA edges (a request fall
+    // plus a null-transaction release), below the detector's
+    // three-edge threshold, so this cannot false-trigger.
+    if (phase_ == Phase::Control || phase_ == Phase::Idle) {
+        // Entering from idle, or re-entering after a fault swallowed
+        // our control edges: drop any stale role state.
+        role_ = Role::None;
+        rxBytes_.clear();
+        iAmInterjector_ = false;
+        interjectorEom_ = false;
+    }
+    phase_ = Phase::Control;
+    controlBaseRising_ = ctx_.sleepCtl.risingCount();
+    controlBaseFalling_ = ctx_.sleepCtl.fallingCount();
+    ctlBit0_ = ctlBit1_ = false;
+
+    // Switch role (Fig 7): release all holds, resume forwarding.
+    ctx_.clkCtl.forward();
+    if (!mediatorOwnsData()) {
+        for (int l = 0; l < lanes(); ++l)
+            forwardLane(l);
+    }
+
+    // Byte alignment (Sec 4.9): nodes observe varying edge counts
+    // around an interjection; discard any partial byte.
+    rxBitBuffer_ = 0;
+    rxBitsPending_ = 0;
+}
+
+void
+BusController::handleControlFalling(std::uint32_t fc)
+{
+    if (fc == 2) {
+        // Control bit 0: the transmitter signals a complete message
+        // by driving high (Fig 7 event 5). A transmitter that was
+        // interrupted -- receiver abort, third party, or a fault --
+        // drives low. When the mediator owns the line it is issuing
+        // a general error and nobody else drives.
+        if (role_ == Role::Tx && !mediatorOwnsData()) {
+            ctx_.dataCtl.drive(iAmInterjector_ && interjectorEom_);
+        }
+        return;
+    }
+    if (fc == 3) {
+        // Control bit 1: the ACK slot.
+        if (role_ == Role::Tx && !mediatorOwnsData())
+            ctx_.dataCtl.forward(); // Hand the line over.
+        if (role_ == Role::Rx && ctlBit0_ && !rxAddr_.isBroadcast() &&
+            !mediatorOwnsData()) {
+            ctx_.dataCtl.drive(false); // ACK: drive low (Fig 7 ev. 6).
+        }
+        if (iAmInterjector_ && role_ != Role::Tx &&
+            !mediatorOwnsData()) {
+            // Deliberate abort by a receiver or third party: {0,1}.
+            ctx_.dataCtl.drive(true);
+        }
+        return;
+    }
+    if (fc == 4) {
+        if (!mediatorOwnsData())
+            ctx_.dataCtl.forward(); // Everyone releases for idle.
+        return;
+    }
+}
+
+void
+BusController::handleControlRising(std::uint32_t rc)
+{
+    if (rc == 2) {
+        ctlBit0_ = ctx_.localData.value();
+        return;
+    }
+    if (rc == 3) {
+        ctlBit1_ = ctx_.localData.value();
+        resolveOutcome();
+        return;
+    }
+    if (rc == 4) {
+        beginIdle();
+        return;
+    }
+}
+
+void
+BusController::resolveOutcome()
+{
+    ControlCode code = controlCodeFromBits(ctlBit0_, ctlBit1_);
+
+    if (role_ == Role::Tx && !txQueue_.empty()) {
+        bool broadcast = txQueue_.front().msg.dest.isBroadcast();
+        TxStatus status;
+        switch (code) {
+          case ControlCode::AckEom:
+            status = broadcast ? TxStatus::Broadcast : TxStatus::Ack;
+            break;
+          case ControlCode::NakEom:
+            status = broadcast ? TxStatus::Broadcast : TxStatus::Nak;
+            break;
+          case ControlCode::GeneralError:
+            status = TxStatus::GeneralError;
+            break;
+          default:
+            status = TxStatus::Interrupted;
+            break;
+        }
+        completeCurrentTx(status);
+    }
+
+    if (role_ == Role::Rx && rxCb_) {
+        bool end_of_message = ctlBit0_;
+        ReceivedMessage rx;
+        rx.dest = rxAddr_;
+        rx.payload = rxBytes_;
+        rx.interjected = !end_of_message;
+        rx.receivedAt = ctx_.sim.now();
+        // Clean end-of-message delivers; a deliberate abort ({0,1})
+        // delivers the complete bytes so far, flagged; a general
+        // error ({0,0}) is a bus reset and delivers nothing.
+        bool abort_code = !ctlBit0_ && ctlBit1_;
+        if (end_of_message || (abort_code && !rx.payload.empty())) {
+            ++stats_.messagesReceived;
+            stats_.bytesReceived += rx.payload.size();
+            // Delivery needs the layer active; if the message was so
+            // short that wakeup edges ran out, the remaining rungs
+            // complete on the idle edges (modelled as immediate).
+            if (!ctx_.layerDomain.active())
+                ctx_.layerDomain.wakeImmediately();
+            auto cb = rxCb_;
+            ctx_.sim.schedule(0, [cb, rx] { cb(rx); });
+        }
+    }
+
+    // A pending local interrupt is serviced once the layer is up
+    // (null transactions end with GeneralError; Sec 4.5, Fig 6).
+    if (ctx_.intCtl.pending()) {
+        if (!ctx_.layerDomain.active())
+            ctx_.layerDomain.wakeImmediately();
+        ctx_.intCtl.clearInterrupt();
+        if (irqCb_) {
+            auto cb = irqCb_;
+            ctx_.sim.schedule(0, [cb] { cb(); });
+        }
+    }
+}
+
+void
+BusController::completeCurrentTx(TxStatus status)
+{
+    PendingTx tx = std::move(txQueue_.front());
+    txQueue_.pop_front();
+
+    ++stats_.messagesSent;
+    switch (status) {
+      case TxStatus::Ack:
+      case TxStatus::Broadcast:
+        ++stats_.messagesAcked;
+        stats_.bytesSent += tx.msg.payload.size();
+        break;
+      case TxStatus::Nak:
+        ++stats_.messagesNaked;
+        break;
+      default:
+        ++stats_.messagesFailed;
+        break;
+    }
+
+    if (tx.cb) {
+        TxResult result;
+        result.status = status;
+        if (status == TxStatus::Ack || status == TxStatus::Broadcast ||
+            status == TxStatus::Nak) {
+            result.bytesSent = tx.msg.payload.size();
+        } else {
+            // Interrupted mid-message: report completed payload
+            // bytes actually put on the wire ("both TX and RX nodes
+            // know how far through a message they were", Sec 7).
+            std::size_t addr = addrBits_.size();
+            std::size_t payload_cycles =
+                txCyclesDriven_ > addr ? txCyclesDriven_ - addr : 0;
+            result.bytesSent = std::min(
+                tx.msg.payload.size(),
+                payload_cycles * static_cast<std::size_t>(lanes()) /
+                    8);
+        }
+        result.arbitrationRetries = tx.retries;
+        result.completedAt = ctx_.sim.now();
+        auto cb = std::move(tx.cb);
+        ctx_.sim.schedule(0, [cb, result] { cb(result); });
+    }
+}
+
+void
+BusController::requeueAfterArbLoss()
+{
+    if (txQueue_.empty())
+        return;
+    ++stats_.arbitrationLosses;
+    PendingTx &tx = txQueue_.front();
+    ++tx.retries;
+    if (tx.cancelOnArbLoss) {
+        PendingTx cancelled = std::move(txQueue_.front());
+        txQueue_.pop_front();
+        if (cancelled.cb) {
+            TxResult result;
+            result.status = TxStatus::LostArbitration;
+            result.bytesSent = 0;
+            result.arbitrationRetries = cancelled.retries;
+            result.completedAt = ctx_.sim.now();
+            auto cb = std::move(cancelled.cb);
+            ctx_.sim.schedule(0, [cb, result] { cb(result); });
+        }
+    }
+    // Otherwise the message stays queued; the post-idle window
+    // re-requests the bus.
+}
+
+void
+BusController::beginIdle()
+{
+    phase_ = Phase::Idle;
+    role_ = Role::None;
+    iAmInterjector_ = false;
+    interjectorEom_ = false;
+    wantInterject_ = false;
+    // A transaction killed before arbitration resolved leaves the
+    // armed request dangling; clear it so the idle window re-arms.
+    txArmed_ = false;
+    ctx_.sleepCtl.noteIdle();
+
+    // Give the ring one period to flush, then service the idle
+    // window: pending interrupts, queued transmissions, power-down.
+    sim::SimTime period =
+        sim::periodFromHz(ctx_.sysCfg.busClockHz);
+    ctx_.sim.schedule(period, [this] { postIdleWindow(); });
+}
+
+void
+BusController::postIdleWindow()
+{
+    if (phase_ != Phase::Idle || ctx_.sleepCtl.transactionActive())
+        return; // A new transaction already started.
+    ctx_.intCtl.noteBusIdle();
+    if (!txQueue_.empty()) {
+        tryRequest();
+        return;
+    }
+    if (cfg_.powerGated && !ctx_.intCtl.pending())
+        ctx_.busDomain.shutdown();
+}
+
+} // namespace bus
+} // namespace mbus

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * The MBus bus controller: the per-chip protocol state machine.
+ *
+ * This is the one component every MBus chip must carry (Table 2's
+ * 947-SLOC Verilog module). It implements, per Figure 3:
+ *
+ *  - bus requests and arbitration sampling (Sec 4.3),
+ *  - the priority-arbitration cycle,
+ *  - address latching and match (short, full, broadcast; Sec 4.6),
+ *  - transmit bit driving on falling edges / receive latching on
+ *    rising edges (Sec 4.8), across 1..4 DATA lanes (Sec 7),
+ *  - end-of-message interjection requests, receiver aborts, and
+ *    third-party interjections honouring the four-byte progress
+ *    policy (Secs 4.9 and 7),
+ *  - the two-cycle control sequence with transaction-level ACK/NAK,
+ *  - byte-alignment discard of non-aligned bits after interjection,
+ *  - hierarchical wakeup of the layer domain on address match or
+ *    pending local interrupt (Secs 4.4, 4.5).
+ *
+ * Phase is derived from the always-on sleep controller's edge counts,
+ * never from global state: a controller woken mid-arbitration reads
+ * the same counters the hardware's always-on frontend would provide.
+ */
+
+#ifndef MBUS_BUS_BUS_CONTROLLER_HH
+#define MBUS_BUS_BUS_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "mbus/config.hh"
+#include "mbus/interrupt_controller.hh"
+#include "mbus/message.hh"
+#include "mbus/protocol.hh"
+#include "mbus/sleep_controller.hh"
+#include "mbus/wire_controller.hh"
+#include "power/domain.hh"
+#include "power/energy.hh"
+#include "power/switching.hh"
+#include "sim/simulator.hh"
+#include "wire/net.hh"
+
+namespace mbus {
+namespace bus {
+
+/**
+ * Coordination shared between a mediator and the bus controller of
+ * the chip hosting it. While the mediator owns the DATA wire
+ * (interjection sequence, general-error control bits), the host's
+ * member controller must not drive it. A host transmitter cannot
+ * signal end-of-message by breaking the CLK ring -- it shares its
+ * drive point with the mediator -- so it requests the interjection
+ * through this on-chip channel instead, exactly as the integrated
+ * mediator+member chips in the paper's systems do.
+ */
+struct MediatorHostLink
+{
+    bool mediatorOwnsData = false;
+    std::function<void()> requestInterjection;
+};
+
+/** Everything a bus controller is wired to. */
+struct BusControllerContext
+{
+    sim::Simulator &sim;
+    const SystemConfig &sysCfg;
+    wire::Net &localClk;  ///< Local clock reference net.
+    wire::Net &localData; ///< Local DATA sample point (lane 0 input).
+    WireController &clkCtl;
+    WireController &dataCtl;
+    std::vector<wire::Net *> laneIns;       ///< Lanes 1.. inputs.
+    std::vector<WireController *> laneCtls; ///< Lanes 1.. outputs.
+    SleepController &sleepCtl;
+    InterruptController &intCtl;
+    power::PowerDomain &busDomain;
+    power::PowerDomain &layerDomain;
+    power::EnergyLedger &ledger;
+    const power::SwitchingEnergyModel &energy;
+    std::size_t nodeId = 0;
+    bool isMediatorHost = false;
+    MediatorHostLink *medLink = nullptr; ///< Non-null on the host.
+};
+
+/** Per-controller statistics. */
+struct BusControllerStats
+{
+    std::uint64_t messagesSent = 0;
+    std::uint64_t messagesAcked = 0;
+    std::uint64_t messagesNaked = 0;
+    std::uint64_t messagesFailed = 0;
+    std::uint64_t messagesReceived = 0;
+    std::uint64_t bytesSent = 0;
+    std::uint64_t bytesReceived = 0;
+    std::uint64_t arbitrationLosses = 0;
+    std::uint64_t priorityWins = 0;
+    std::uint64_t interjectionsRequested = 0;
+    std::uint64_t rxAborts = 0;
+};
+
+/**
+ * The per-chip MBus protocol engine.
+ */
+class BusController
+{
+  public:
+    explicit BusController(BusControllerContext ctx, NodeConfig cfg);
+
+    // --- Identity ------------------------------------------------------
+
+    /** True once a short prefix is assigned (static or enumerated). */
+    bool hasShortPrefix() const { return shortPrefix_ != 0; }
+
+    /** Assigned short prefix (0 = unassigned). */
+    std::uint8_t shortPrefix() const { return shortPrefix_; }
+
+    /** Assign a short prefix (enumeration or static). */
+    void setShortPrefix(std::uint8_t prefix) { shortPrefix_ = prefix; }
+
+    /** 20-bit unique full prefix. */
+    std::uint32_t fullPrefix() const { return cfg_.fullPrefix; }
+
+    // --- Sending --------------------------------------------------------
+
+    /**
+     * Queue a message. The controller requests the bus at the next
+     * idle window, retries lost arbitrations (unless the message is
+     * marked cancel-on-arbitration-loss), and invokes @p cb with the
+     * final status.
+     */
+    void send(Message msg, SendCallback cb = nullptr,
+              bool cancelOnArbLoss = false);
+
+    /** Queued (not yet completed) transmissions. */
+    std::size_t pendingTx() const { return txQueue_.size(); }
+
+    /**
+     * Third-party interjection: terminate the transaction currently
+     * occupying the bus. Honours the minimum-progress policy -- the
+     * request is deferred until the transmitter has moved at least
+     * kMinProgressBytes of payload (Sec 7).
+     */
+    void interject();
+
+    // --- Receiving --------------------------------------------------
+
+    /** Register the delivery callback (the layer controller). */
+    void setReceiveCallback(ReceiveCallback cb) { rxCb_ = std::move(cb); }
+
+    /** Register a callback for serviced local interrupts. */
+    void
+    setInterruptCallback(std::function<void()> cb)
+    {
+        irqCb_ = std::move(cb);
+    }
+
+    /** Update the broadcast channel subscription mask. */
+    void setBroadcastChannels(std::uint16_t mask) { cfg_.broadcastChannels = mask; }
+
+    /** Mutable priority: when this node provides the arbitration
+     *  break, its own requests sample as winning (it is position 0
+     *  of the priority order, like the mediator host normally is). */
+    void setArbBreakSelf(bool v) { arbBreakSelf_ = v; }
+
+    // --- Introspection ------------------------------------------------
+
+    const BusControllerStats &stats() const { return stats_; }
+
+    /** True while the bus is idle from this node's perspective. */
+    bool busIdle() const { return phase_ == Phase::Idle; }
+
+    /** Called by the power domain when the controller loses power. */
+    void onPowerLost();
+
+    /** Hooked to the interjection detector by the node. */
+    void onInterjectionDetected();
+
+    /** Edge hook from the sleep controller. */
+    void onClkEdge(bool rising);
+
+  private:
+    enum class Phase : std::uint8_t {
+        Idle,     ///< No transaction in progress.
+        Active,   ///< Arbitration / address / data phases.
+        IntjWait, ///< Holding CLK, waiting for the interjection.
+        Control,  ///< Post-interjection control cycles.
+    };
+
+    enum class Role : std::uint8_t { None, Tx, Rx, Fwd };
+
+    struct PendingTx
+    {
+        Message msg;
+        SendCallback cb;
+        bool cancelOnArbLoss = false;
+        std::size_t retries = 0;
+    };
+
+    // Edge handlers.
+    void beginTransactionIfNeeded();
+    void handleRising(std::uint32_t r);
+    void handleFalling(std::uint32_t f);
+    void handleControlRising(std::uint32_t rc);
+    void handleControlFalling(std::uint32_t fc);
+
+    // Sub-phase helpers.
+    void latchAddressBit(bool bit);
+    void latchDataBits();
+    void commitRxByte(std::uint8_t byte);
+    void prepareTxBits(const Message &msg);
+    void driveTxCycle(std::uint32_t cycleIdx);
+    void requestInterjection(bool endOfMessage);
+    void resolveOutcome();
+    void beginIdle();
+    void postIdleWindow();
+    void tryRequest();
+    void completeCurrentTx(TxStatus status);
+    void requeueAfterArbLoss();
+    void stepLayerIfNeeded();
+
+    /** Number of active DATA lanes in this system. */
+    int lanes() const { return ctx_.sysCfg.dataLanes; }
+
+    /** Drive lane @p lane (0 = primary DATA) to @p v. */
+    void driveLane(int lane, bool v);
+
+    /** Return lane @p lane to forwarding. */
+    void forwardLane(int lane);
+
+    /** Sample lane @p lane's input. */
+    bool sampleLane(int lane) const;
+
+    /** True when the mediator owns the host chip's DATA output. */
+    bool
+    mediatorOwnsData() const
+    {
+        return ctx_.medLink && ctx_.medLink->mediatorOwnsData;
+    }
+
+    BusControllerContext ctx_;
+    NodeConfig cfg_;
+    std::uint8_t shortPrefix_ = 0;
+    bool arbBreakSelf_ = false;
+
+    // TX queue.
+    std::deque<PendingTx> txQueue_;
+    bool txArmed_ = false;
+
+    // Per-transaction state.
+    Phase phase_ = Phase::Idle;
+    Role role_ = Role::None;
+    bool requestedThisTxn_ = false;
+    bool wonArb_ = false;
+    bool priorityDriven_ = false;
+    bool wonPriority_ = false;
+    bool backedOff_ = false;
+
+    // TX bit stream.
+    std::vector<std::uint8_t> addrBits_;
+    std::vector<std::uint8_t> payloadBits_;
+    std::uint32_t txTotalCycles_ = 0;
+    std::uint32_t txCyclesDriven_ = 0;
+
+    // RX address / data accumulation.
+    std::uint64_t addrAccum_ = 0;
+    int addrBitsSeen_ = 0;
+    int addrBitsExpected_ = 8;
+    bool addressResolved_ = false;
+    Address rxAddr_;
+    std::vector<std::uint8_t> rxBytes_;
+    std::uint32_t rxBitBuffer_ = 0;
+    int rxBitsPending_ = 0;
+    std::uint64_t dataBitsSeen_ = 0;
+    std::uint64_t dataBytesSeen_ = 0;
+
+    // Interjection / control.
+    bool iAmInterjector_ = false;
+    bool interjectorEom_ = false;
+    bool wantInterject_ = false;
+    std::uint32_t controlBaseRising_ = 0;
+    std::uint32_t controlBaseFalling_ = 0;
+    bool ctlBit0_ = false;
+    bool ctlBit1_ = false;
+
+    ReceiveCallback rxCb_;
+    std::function<void()> irqCb_;
+    BusControllerStats stats_;
+};
+
+} // namespace bus
+} // namespace mbus
+
+#endif // MBUS_BUS_BUS_CONTROLLER_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Configuration for an MBus system and for individual nodes.
+ */
+
+#ifndef MBUS_BUS_CONFIG_HH
+#define MBUS_BUS_CONFIG_HH
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "mbus/protocol.hh"
+#include "sim/types.hh"
+
+namespace mbus {
+namespace bus {
+
+/** System-wide parameters (the mediator's knobs). */
+struct SystemConfig
+{
+    /** Bus clock frequency. Run-time tunable 10 kHz .. 6.67 MHz in
+     *  the paper's implementation; default 400 kHz (Sec 6.3.2). */
+    double busClockHz = 400e3;
+
+    /** Node-to-node propagation delay (spec max 10 ns, Sec 6.1). */
+    sim::SimTime hopDelay = 10 * sim::kNanosecond;
+
+    /** Mediator self-start latency from the first DATA edge. */
+    sim::SimTime mediatorWakeDelay = 0; // 0 -> one bus period.
+
+    /** Watchdog limit on message payload length (Sec 7, >= 1 kB). */
+    std::size_t maxMessageBytes = kMinMaxMessageBytes;
+
+    /** Number of DATA lanes (1 = standard MBus; Sec 7 parallel MBus). */
+    int dataLanes = 1;
+
+    /**
+     * Extra round-trip latency beyond hopDelay * nodes, e.g. the ISR
+     * response time of a bitbanged software member (Sec 6.6). The
+     * mediator's ring-continuity checks and the safe-clock limit both
+     * account for it.
+     */
+    sim::SimTime extraRingLatency = 0;
+
+    /**
+     * Mutable topological priority (Sec 7 discussion): when true,
+     * the arbitration ring break is provided by a designated member
+     * node's always-on wire logic instead of the mediator, making
+     * the priority order start just downstream of that node. The
+     * paper notes this "would require adding state to the always-on
+     * Wire Controller" -- modelled here as exactly one such flag.
+     */
+    bool useNodeArbBreak = false;
+};
+
+/** Per-node (per-chip) parameters. */
+struct NodeConfig
+{
+    /** Diagnostic name ("processor", "sensor", ...). */
+    std::string name;
+
+    /** 20-bit globally unique chip-design prefix. */
+    std::uint32_t fullPrefix = 0;
+
+    /**
+     * Optional static short prefix (1..14). Nodes without one stay
+     * unaddressable by short address until enumeration assigns one.
+     */
+    std::optional<std::uint8_t> staticShortPrefix;
+
+    /**
+     * True for power-aware chips: the bus controller and layer
+     * controller are power gated and woken by the bus. False models
+     * a power-oblivious chip that keeps everything on (Sec 3
+     * "Interoperability").
+     */
+    bool powerGated = true;
+
+    /** Broadcast channels this node listens to (bit k = channel k). */
+    std::uint16_t broadcastChannels =
+        (1u << kChannelEnumerate) | (1u << kChannelConfig);
+
+    /** RX buffer limit; exceeding it makes the receiver interject. */
+    std::size_t rxBufferLimit = std::numeric_limits<std::size_t>::max();
+
+    /** Number of DATA lanes this node supports (parallel MBus). */
+    int dataLanes = 1;
+};
+
+} // namespace bus
+} // namespace mbus
+
+#endif // MBUS_BUS_CONFIG_HH

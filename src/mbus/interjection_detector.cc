@@ -1,0 +1,33 @@
+#include "mbus/interjection_detector.hh"
+
+namespace mbus {
+namespace bus {
+
+InterjectionDetector::InterjectionDetector(wire::Net &clk, wire::Net &data)
+{
+    data.subscribe(wire::Edge::Any, [this](bool) { onDataEdge(); });
+    clk.subscribe(wire::Edge::Any, [this](bool) { onClkEdge(); });
+}
+
+void
+InterjectionDetector::onDataEdge()
+{
+    if (count_ < kThreshold)
+        ++count_;
+    if (count_ >= kThreshold && !asserted_) {
+        asserted_ = true;
+        ++assertions_;
+        if (onInterjection_)
+            onInterjection_();
+    }
+}
+
+void
+InterjectionDetector::onClkEdge()
+{
+    count_ = 0;
+    asserted_ = false;
+}
+
+} // namespace bus
+} // namespace mbus

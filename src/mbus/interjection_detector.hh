@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The interjection detector of Section 4.9.
+ *
+ * "In normal MBus operation, DATA never toggles meaningfully without
+ * a CLK edge. This allows us to design a reliable, independent
+ * interjection-detection module, essentially a saturating counter
+ * clocked by DATA and reset by CLK."
+ *
+ * The threshold is 3 DATA edges: normal operation produces at most
+ * one meaningful DATA edge per CLK half-cycle plus at most one
+ * drive-to-forward handoff glitch, so 2 edges can occur legitimately;
+ * 3 cannot. The mediator's interjection sequence drives 6 edges so
+ * every node crosses the threshold even when a driving node blocks
+ * the first few edges from propagating.
+ */
+
+#ifndef MBUS_BUS_INTERJECTION_DETECTOR_HH
+#define MBUS_BUS_INTERJECTION_DETECTOR_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "wire/net.hh"
+
+namespace mbus {
+namespace bus {
+
+/** Saturating DATA-edge counter, reset by CLK edges. */
+class InterjectionDetector
+{
+  public:
+    /** DATA edges (with no intervening CLK edge) that assert. */
+    static constexpr int kThreshold = 3;
+
+    /**
+     * @param clk The node's local CLK net (resets the counter).
+     * @param data The node's local DATA net (clocks the counter).
+     */
+    InterjectionDetector(wire::Net &clk, wire::Net &data);
+
+    /** Register the assertion callback (the bus controller reset). */
+    void
+    setOnInterjection(std::function<void()> fn)
+    {
+        onInterjection_ = std::move(fn);
+    }
+
+    /** Current counter value (for tests). */
+    int count() const { return count_; }
+
+    /** Total assertions observed. */
+    std::uint64_t assertions() const { return assertions_; }
+
+  private:
+    void onDataEdge();
+    void onClkEdge();
+
+    std::function<void()> onInterjection_;
+    int count_ = 0;
+    bool asserted_ = false;
+    std::uint64_t assertions_ = 0;
+};
+
+} // namespace bus
+} // namespace mbus
+
+#endif // MBUS_BUS_INTERJECTION_DETECTOR_HH

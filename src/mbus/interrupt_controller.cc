@@ -1,0 +1,57 @@
+#include "mbus/interrupt_controller.hh"
+
+namespace mbus {
+namespace bus {
+
+InterruptController::InterruptController(wire::Net &localClk,
+                                         WireController &dataCtl)
+    : dataCtl_(dataCtl)
+{
+    localClk.subscribe(wire::Edge::Falling,
+                       [this](bool) { onClkEdge(); });
+}
+
+void
+InterruptController::assertInterrupt()
+{
+    ++asserted_;
+    pending_ = true;
+    if (busIdle_)
+        beginNullTransaction();
+    else
+        wantPulse_ = true;
+}
+
+void
+InterruptController::noteBusIdle()
+{
+    busIdle_ = true;
+    if (wantPulse_) {
+        wantPulse_ = false;
+        beginNullTransaction();
+    }
+}
+
+void
+InterruptController::beginNullTransaction()
+{
+    // Pull DATA low; the falling edge self-starts the mediator.
+    pulsing_ = true;
+    busIdle_ = false;
+    dataCtl_.drive(false);
+}
+
+void
+InterruptController::onClkEdge()
+{
+    // First falling CLK edge: resume forwarding before the
+    // arbitration sample so no node wins arbitration (Figure 6,
+    // "Resume Forwarding").
+    if (pulsing_) {
+        pulsing_ = false;
+        dataCtl_.forward();
+    }
+}
+
+} // namespace bus
+} // namespace mbus

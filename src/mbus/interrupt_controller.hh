@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The always-on interrupt controller (Sec 4.5).
+ *
+ * A partially power-gated node may need to wake *itself*, e.g. the
+ * imager's always-on motion detector asserting one wire. The
+ * interrupt controller answers by generating a null transaction:
+ * pull DATA low, then resume forwarding before the arbitration
+ * edge. The mediator finds no arbitration winner, raises a general
+ * error, and the edges generated along the way wake the node's
+ * entire power-domain hierarchy -- transparently to every other
+ * device on the bus (Figure 6).
+ */
+
+#ifndef MBUS_BUS_INTERRUPT_CONTROLLER_HH
+#define MBUS_BUS_INTERRUPT_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "mbus/wire_controller.hh"
+#include "wire/net.hh"
+
+namespace mbus {
+namespace bus {
+
+/** Always-on interrupt frontend generating null transactions. */
+class InterruptController
+{
+  public:
+    /**
+     * @param localClk Local clock reference (to time the release).
+     * @param dataCtl The node's DATA wire controller.
+     */
+    InterruptController(wire::Net &localClk, WireController &dataCtl);
+
+    /**
+     * Assert the interrupt port. If the bus is idle this immediately
+     * begins a null transaction; if busy, the request latches and
+     * fires at the next idle.
+     */
+    void assertInterrupt();
+
+    /** True while an interrupt is latched but not yet serviced. */
+    bool pending() const { return pending_; }
+
+    /** The bus controller services and clears the interrupt. */
+    void clearInterrupt() { pending_ = false; }
+
+    /** Bus-state tracking, driven by the bus controller. */
+    void noteBusIdle();
+    void noteBusBusy() { busIdle_ = false; }
+
+    /** Total interrupts asserted (for stats). */
+    std::uint64_t assertedCount() const { return asserted_; }
+
+  private:
+    void beginNullTransaction();
+    void onClkEdge();
+
+    WireController &dataCtl_;
+
+    bool pending_ = false;
+    bool pulsing_ = false;
+    bool busIdle_ = true;
+    bool wantPulse_ = false;
+    std::uint64_t asserted_ = 0;
+};
+
+} // namespace bus
+} // namespace mbus
+
+#endif // MBUS_BUS_INTERRUPT_CONTROLLER_HH

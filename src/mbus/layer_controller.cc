@@ -1,0 +1,145 @@
+#include "mbus/layer_controller.hh"
+
+#include "mbus/bus_controller.hh"
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace bus {
+
+namespace {
+
+std::uint32_t
+beWord(const std::vector<std::uint8_t> &bytes, std::size_t offset)
+{
+    return (std::uint32_t(bytes[offset]) << 24) |
+           (std::uint32_t(bytes[offset + 1]) << 16) |
+           (std::uint32_t(bytes[offset + 2]) << 8) |
+           std::uint32_t(bytes[offset + 3]);
+}
+
+} // namespace
+
+LayerController::LayerController(sim::Simulator &sim, BusController &bus,
+                                 power::PowerDomain &layerDomain)
+    : sim_(sim), bus_(bus), layerDomain_(layerDomain)
+{
+}
+
+void
+LayerController::onReceive(const ReceivedMessage &rx)
+{
+    for (const auto &handler : preDispatch_)
+        if (handler(rx))
+            return;
+
+    if (rx.dest.isBroadcast()) {
+        if (broadcast_)
+            broadcast_(rx.dest.channel(), rx);
+        return;
+    }
+
+    switch (rx.dest.fuId()) {
+      case kFuRegisterWrite:
+        handleRegisterWrite(rx.payload);
+        break;
+      case kFuMemoryWrite:
+        handleMemoryWrite(rx.payload);
+        break;
+      case kFuMemoryRead:
+        handleMemoryRead(rx.payload);
+        break;
+      case kFuMailbox:
+      default:
+        // Unknown FUs fall through to the mailbox so application
+        // firmware can claim them.
+        ++mailboxDeliveries_;
+        if (mailbox_)
+            mailbox_(rx);
+        break;
+    }
+}
+
+std::uint32_t
+LayerController::readRegister(std::uint8_t addr) const
+{
+    return registers_[addr];
+}
+
+void
+LayerController::writeRegister(std::uint8_t addr, std::uint32_t value24)
+{
+    registers_[addr] = value24 & 0xFFFFFFu;
+}
+
+std::uint32_t
+LayerController::readMemory(std::uint32_t wordAddr) const
+{
+    auto it = memory_.find(wordAddr);
+    return it == memory_.end() ? 0 : it->second;
+}
+
+void
+LayerController::writeMemory(std::uint32_t wordAddr, std::uint32_t value)
+{
+    memory_[wordAddr] = value;
+}
+
+void
+LayerController::handleRegisterWrite(
+    const std::vector<std::uint8_t> &payload)
+{
+    if (payload.size() % 4 != 0) {
+        sim::warn("register-write payload not a multiple of 4 bytes; "
+             "trailing bytes ignored");
+    }
+    for (std::size_t i = 0; i + 4 <= payload.size(); i += 4) {
+        std::uint32_t value = (std::uint32_t(payload[i + 1]) << 16) |
+                              (std::uint32_t(payload[i + 2]) << 8) |
+                              std::uint32_t(payload[i + 3]);
+        writeRegister(payload[i], value);
+        ++registerWrites_;
+    }
+}
+
+void
+LayerController::handleMemoryWrite(
+    const std::vector<std::uint8_t> &payload)
+{
+    if (payload.size() < 4)
+        return;
+    std::uint32_t addr = beWord(payload, 0);
+    for (std::size_t i = 4; i + 4 <= payload.size(); i += 4)
+        writeMemory(addr++, beWord(payload, i));
+    ++memoryWrites_;
+}
+
+void
+LayerController::handleMemoryRead(
+    const std::vector<std::uint8_t> &payload)
+{
+    if (payload.size() < 9)
+        return;
+    std::uint32_t addr = beWord(payload, 0);
+    std::uint32_t len_words = beWord(payload, 4);
+    Address reply = Address::decodeShort(payload[8]);
+    ++memoryReads_;
+
+    // Stream the reply as a memory-write message: the requested
+    // words, prefixed with a destination word address of zero.
+    Message msg;
+    msg.dest = reply;
+    msg.payload.reserve(4 + 4 * len_words);
+    for (int i = 0; i < 4; ++i)
+        msg.payload.push_back(0);
+    for (std::uint32_t w = 0; w < len_words; ++w) {
+        std::uint32_t value = readMemory(addr + w);
+        msg.payload.push_back((value >> 24) & 0xFF);
+        msg.payload.push_back((value >> 16) & 0xFF);
+        msg.payload.push_back((value >> 8) & 0xFF);
+        msg.payload.push_back(value & 0xFF);
+    }
+    bus_.send(std::move(msg));
+}
+
+} // namespace bus
+} // namespace mbus

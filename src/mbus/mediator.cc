@@ -1,0 +1,326 @@
+#include "mbus/mediator.hh"
+
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace bus {
+
+Mediator::Mediator(Context ctx) : ctx_(std::move(ctx))
+{
+    // Track DATA edges returning to the mediator during interjection
+    // so the sequence keeps toggling until it has propagated the
+    // whole ring (robust even when a driving node blocks the first
+    // edges).
+    ctx_.dataIn.subscribe(wire::Edge::Any, [this](bool) {
+        if (state_ == State::Interjecting)
+            ++dataInEdgesDuringIntj_;
+    });
+}
+
+void
+Mediator::arm()
+{
+    if (armed_)
+        return;
+    armed_ = true;
+    ctx_.dataIn.subscribe(wire::Edge::Falling, [this](bool) {
+        if (state_ == State::Asleep)
+            onDataFall();
+    });
+}
+
+sim::SimTime
+Mediator::period() const
+{
+    return sim::periodFromHz(ctx_.cfg.busClockHz);
+}
+
+void
+Mediator::setMaxMessageBytes(std::size_t bytes)
+{
+    if (bytes < kMinMaxMessageBytes) {
+        sim::warn("mediator max message length clamped to the 1 kB spec "
+             "minimum");
+        bytes = kMinMaxMessageBytes;
+    }
+    maxMessageBytes_ = bytes;
+}
+
+void
+Mediator::onDataFall()
+{
+    // Self-start (Sec 4.2): the falling edge wakes the mediator; it
+    // begins toggling CLK as soon as it is active.
+    state_ = State::WakePending;
+    sim::SimTime wake = ctx_.cfg.mediatorWakeDelay
+                            ? ctx_.cfg.mediatorWakeDelay
+                            : period();
+    ctx_.sim.schedule(wake, [this] { startClocking(); });
+}
+
+void
+Mediator::startClocking()
+{
+    ++stats_.transactions;
+    state_ = State::Clocking;
+    clkLevel_ = true;
+    rising_ = falling_ = 0;
+    addrBitsSeen_ = 0;
+    addrBitsExpected_ = 8;
+    addrAccum_ = 0;
+    dataCyclesSeen_ = 0;
+
+    // Arbitration: the mediator does not forward DATA. If the host's
+    // member port is itself requesting (driving low), its drive is
+    // already the ring break; otherwise the mediator parks the output
+    // high. Under mutable priority (Sec 7) the break belongs to the
+    // designated member node instead, and the mediator forwards.
+    if (!ctx_.cfg.useNodeArbBreak && ctx_.dataCtl.forwarding()) {
+        medDrivingData_ = true;
+        ctx_.link.mediatorOwnsData = true;
+        ctx_.dataCtl.drive(true);
+    }
+    driveClockEdge();
+}
+
+void
+Mediator::driveClockEdge()
+{
+    if (state_ != State::Clocking)
+        return;
+    clkLevel_ = !clkLevel_;
+    ctx_.clkCtl.drive(clkLevel_);
+
+    if (clkLevel_) {
+        ++rising_;
+        ++stats_.clockCycles;
+        ctx_.ledger.charge(ctx_.nodeId, power::EnergyCategory::Mediator,
+                           ctx_.energy.mediatorPerCycle());
+        afterRisingEdge(rising_);
+        if (state_ != State::Clocking)
+            return; // Interjection began.
+    } else {
+        ++falling_;
+        if (falling_ == 2 && medDrivingData_) {
+            // Arbitration over: begin forwarding DATA (Fig 5).
+            medDrivingData_ = false;
+            ctx_.link.mediatorOwnsData = false;
+            ctx_.dataCtl.forward();
+        }
+    }
+
+    scheduleRingCheck(clkLevel_);
+    clockEvent_ =
+        ctx_.sim.schedule(period() / 2, [this] { driveClockEdge(); });
+}
+
+void
+Mediator::afterRisingEdge(std::uint32_t r)
+{
+    if (r == 1) {
+        // Arbitration sample: high means nobody is requesting -- a
+        // null transaction. Raise a general error (Fig 6). With a
+        // member-node ring break (mutable priority) the mediator's
+        // view can be masked by the break; true null transactions
+        // then resolve through the watchdog instead.
+        if (!ctx_.cfg.useNodeArbBreak && ctx_.dataIn.value())
+            beginInterjection(InterjectReason::NoWinner);
+        return;
+    }
+    if (r >= 4)
+        watchdogLatch();
+}
+
+void
+Mediator::watchdogLatch()
+{
+    if (addrBitsSeen_ < addrBitsExpected_) {
+        addrAccum_ = (addrAccum_ << 1) | (ctx_.dataIn.value() ? 1 : 0);
+        ++addrBitsSeen_;
+        if (addrBitsSeen_ == 4 &&
+            (addrAccum_ & 0xF) == kFullAddressMarker) {
+            addrBitsExpected_ = 32;
+        }
+        return;
+    }
+    ++dataCyclesSeen_;
+    std::uint64_t bytes =
+        dataCyclesSeen_ *
+        static_cast<std::uint64_t>(ctx_.cfg.dataLanes) / 8;
+    if (bytes > maxMessageBytes_) {
+        // Runaway message (Sec 7): terminate with a general error.
+        ++stats_.watchdogKills;
+        beginInterjection(InterjectReason::Watchdog);
+    }
+}
+
+void
+Mediator::scheduleRingCheck(bool expected)
+{
+    std::uint64_t epoch = checkEpoch_;
+    sim::SimTime ring_delay =
+        static_cast<sim::SimTime>(ctx_.ringSize) * ctx_.cfg.hopDelay +
+        ctx_.cfg.extraRingLatency;
+    ctx_.sim.schedule(ring_delay + 2 * ctx_.cfg.hopDelay,
+                      [this, expected, epoch] {
+                          if (epoch != checkEpoch_ ||
+                              state_ != State::Clocking) {
+                              return;
+                          }
+                          if (ctx_.clkIn.value() != expected)
+                              beginInterjection(
+                                  InterjectReason::RingBreak);
+                      });
+}
+
+void
+Mediator::hostInterjectionRequest()
+{
+    if (state_ == State::Clocking)
+        beginInterjection(InterjectReason::RingBreak);
+}
+
+void
+Mediator::forceInterjection()
+{
+    if (state_ == State::Interjecting || state_ == State::Control)
+        return; // A reset is already underway.
+    clockEvent_.cancel();
+    state_ = State::Clocking; // Any pre-interjection state works.
+    beginInterjection(InterjectReason::Rescue);
+}
+
+void
+Mediator::beginInterjection(InterjectReason reason)
+{
+    ++checkEpoch_;
+    clockEvent_.cancel();
+    reason_ = reason;
+    if (reason == InterjectReason::RingBreak)
+        ++stats_.interjections;
+    else if (reason == InterjectReason::NoWinner)
+        ++stats_.generalErrors;
+    state_ = State::Interjecting;
+
+    // CLK parks high for the whole interjection. If the blocked edge
+    // left our output low, restore it -- nodes between the mediator
+    // and the interjector observe one extra short cycle, which is why
+    // MBus requires byte-aligned messages (Sec 4.9).
+    if (!clkLevel_) {
+        clkLevel_ = true;
+        ctx_.clkCtl.drive(true);
+    }
+
+    // Take the DATA line and toggle it with no CLK edges.
+    medDrivingData_ = true;
+    ctx_.link.mediatorOwnsData = true;
+    togglesDriven_ = 0;
+    dataInEdgesDuringIntj_ = 0;
+    ctx_.sim.schedule(period() / 2, [this] { interjectionToggle(); });
+}
+
+void
+Mediator::interjectionToggle()
+{
+    if (state_ != State::Interjecting)
+        return;
+    bool v = !ctx_.dataCtl.outputValue();
+    ctx_.dataCtl.drive(v);
+    ++togglesDriven_;
+
+    bool ends_high = v;
+    bool enough = togglesDriven_ >= 6;
+    bool confirmed = dataInEdgesDuringIntj_ >= 3;
+    if (ends_high && enough && (confirmed || togglesDriven_ >= 32)) {
+        if (!confirmed) {
+            sim::warn("interjection not confirmed around the ring after ",
+                 togglesDriven_, " toggles; proceeding to control");
+        }
+        // Let the final toggle flush, then run the control cycles.
+        ctx_.sim.schedule(period() / 2, [this] { beginControl(); });
+        return;
+    }
+    ctx_.sim.schedule(period() / 2, [this] { interjectionToggle(); });
+}
+
+void
+Mediator::beginControl()
+{
+    if (state_ != State::Interjecting)
+        return;
+    state_ = State::Control;
+    ctlRising_ = ctlFalling_ = 0;
+    ctlBit0_ = ctlBit1_ = false;
+    driveControlEdge();
+}
+
+void
+Mediator::driveControlEdge()
+{
+    if (state_ != State::Control)
+        return;
+    clkLevel_ = !clkLevel_;
+    ctx_.clkCtl.drive(clkLevel_);
+
+    if (!clkLevel_) {
+        ++ctlFalling_;
+        if (ctlFalling_ == 2) {
+            if (generalError()) {
+                // The mediator itself drives the {0,0} code.
+                ctx_.dataCtl.drive(false);
+            } else {
+                // Hand the line to the interjector for control bit 0.
+                medDrivingData_ = false;
+                ctx_.link.mediatorOwnsData = false;
+                ctx_.dataCtl.forward();
+            }
+        } else if (ctlFalling_ == 4) {
+            // Return to idle: drive DATA high (Sec 4.9 / Fig 7 ev 7).
+            medDrivingData_ = true;
+            ctx_.link.mediatorOwnsData = true;
+            ctx_.dataCtl.drive(true);
+        }
+    } else {
+        ++ctlRising_;
+        ++stats_.clockCycles;
+        ctx_.ledger.charge(ctx_.nodeId, power::EnergyCategory::Mediator,
+                           ctx_.energy.mediatorPerCycle());
+        if (ctlRising_ == 2)
+            ctlBit0_ = ctx_.dataIn.value();
+        if (ctlRising_ == 3)
+            ctlBit1_ = ctx_.dataIn.value();
+        if (ctlRising_ == 4) {
+            finishTransaction();
+            return;
+        }
+    }
+
+    clockEvent_ = ctx_.sim.schedule(period() / 2,
+                                    [this] { driveControlEdge(); });
+}
+
+void
+Mediator::finishTransaction()
+{
+    // Flush the ring, then release everything and go back to sleep.
+    sim::SimTime ring_delay =
+        static_cast<sim::SimTime>(ctx_.ringSize) * ctx_.cfg.hopDelay +
+        ctx_.cfg.extraRingLatency;
+    ctx_.sim.schedule(ring_delay + 2 * ctx_.cfg.hopDelay, [this] {
+        medDrivingData_ = false;
+        ctx_.link.mediatorOwnsData = false;
+        ctx_.dataCtl.forward();
+        ctx_.clkCtl.forward();
+        ++checkEpoch_;
+        state_ = State::Asleep;
+        if (onIdle_)
+            onIdle_();
+        // Late request: a node may have pulled DATA low while we were
+        // putting the bus to sleep.
+        if (!ctx_.dataIn.value())
+            onDataFall();
+    });
+}
+
+} // namespace bus
+} // namespace mbus

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The MBus mediator (Sec 4.2): clock generation and bus mediation.
+ *
+ * Every MBus system has exactly one mediator. It is the only
+ * component that must self-start from a fully gated state: a falling
+ * edge on its DATA input wakes it, and it begins toggling CLK. It
+ * does not forward DATA during arbitration (creating the ring break
+ * that makes arbitration topological), generates the interjection
+ * sequence (toggling DATA while CLK is held high), signals general
+ * errors, enforces the runaway-message watchdog (Sec 7), and returns
+ * the bus to idle after every transaction.
+ *
+ * The mediator is hosted on one chip (the processor in the paper's
+ * systems) and drives that chip's output wire controllers.
+ */
+
+#ifndef MBUS_BUS_MEDIATOR_HH
+#define MBUS_BUS_MEDIATOR_HH
+
+#include <cstdint>
+
+#include "mbus/bus_controller.hh"
+#include "mbus/config.hh"
+#include "mbus/wire_controller.hh"
+#include "power/energy.hh"
+#include "power/switching.hh"
+#include "sim/event_queue.hh"
+#include "sim/simulator.hh"
+#include "wire/net.hh"
+
+namespace mbus {
+namespace bus {
+
+/** Mediator statistics. */
+struct MediatorStats
+{
+    std::uint64_t transactions = 0;
+    std::uint64_t interjections = 0;   ///< Ring-break interjections.
+    std::uint64_t generalErrors = 0;   ///< No-winner null transactions.
+    std::uint64_t watchdogKills = 0;   ///< Runaway messages terminated.
+    std::uint64_t clockCycles = 0;     ///< Bus cycles generated.
+};
+
+/**
+ * The mediator node function.
+ */
+class Mediator
+{
+  public:
+    struct Context
+    {
+        sim::Simulator &sim;
+        SystemConfig &cfg; ///< Live system config (mutable: Sec 7).
+        wire::Net &clkIn;  ///< Host chip CLK input (ring tail).
+        wire::Net &dataIn; ///< Host chip DATA input (ring tail).
+        WireController &clkCtl;  ///< Host chip CLK output mux.
+        WireController &dataCtl; ///< Host chip DATA output mux.
+        power::EnergyLedger &ledger;
+        const power::SwitchingEnergyModel &energy;
+        std::size_t nodeId = 0;   ///< Host node id (energy).
+        std::size_t ringSize = 0; ///< Chips (= segments) in the ring.
+        MediatorHostLink &link;
+    };
+
+    explicit Mediator(Context ctx);
+
+    /** Arm the wakeup detector; call once after system wiring. */
+    void arm();
+
+    /** Live statistics. */
+    const MediatorStats &stats() const { return stats_; }
+
+    /** Watchdog limit (payload bytes); clamped to >= 1 kB minimum. */
+    void setMaxMessageBytes(std::size_t bytes);
+    std::size_t maxMessageBytes() const { return maxMessageBytes_; }
+
+    /** True while no transaction is in flight. */
+    bool asleep() const { return state_ == State::Asleep; }
+
+    /**
+     * On-chip interjection request from the host member controller
+     * (which cannot break the CLK ring it shares with us).
+     */
+    void hostInterjectionRequest();
+
+    /**
+     * Rescue interjection (Sec 4.9: interjections are "used both for
+     * extreme cases, such as rescuing a hung bus," ...). Generates a
+     * full interjection + general-error control sequence that resets
+     * every bus controller on the ring, from any mediator state.
+     * Host system software invokes this when its watchdog concludes
+     * the bus is wedged (e.g. after sustained stuck-at faults).
+     */
+    void forceInterjection();
+
+    /** Bus clock period currently in use. */
+    sim::SimTime period() const;
+
+    /** Callback fired each time the bus returns to idle (used by
+     *  rotating-priority policies, Sec 7). */
+    void
+    setOnIdle(std::function<void()> fn)
+    {
+        onIdle_ = std::move(fn);
+    }
+
+  private:
+    enum class State : std::uint8_t {
+        Asleep,       ///< Fully gated; DATA-fall detector armed.
+        WakePending,  ///< Self-start delay running.
+        Clocking,     ///< Normal clock generation (arb/addr/data).
+        Interjecting, ///< CLK parked high, toggling DATA.
+        Control,      ///< Clocking the control cycles.
+    };
+
+    /** Why the current interjection was generated. */
+    enum class InterjectReason : std::uint8_t {
+        RingBreak, ///< A node stopped forwarding CLK (EoM / abort).
+        NoWinner,  ///< Null transaction: nobody won arbitration.
+        Watchdog,  ///< Message exceeded the maximum length.
+        Rescue,    ///< Host-requested bus rescue.
+    };
+
+    void onDataFall();
+    void startClocking();
+    void driveClockEdge();
+    void afterRisingEdge(std::uint32_t r);
+    void watchdogLatch();
+    void scheduleRingCheck(bool expected);
+    void beginInterjection(InterjectReason reason);
+    void interjectionToggle();
+    void beginControl();
+    void driveControlEdge();
+    void finishTransaction();
+
+    /** True when this interjection carries a general-error code. */
+    bool
+    generalError() const
+    {
+        return reason_ != InterjectReason::RingBreak;
+    }
+
+    Context ctx_;
+    State state_ = State::Asleep;
+    bool armed_ = false;
+
+    // Clock generation.
+    bool clkLevel_ = true;
+    std::uint32_t rising_ = 0;
+    std::uint32_t falling_ = 0;
+    sim::EventHandle clockEvent_;
+    std::uint64_t checkEpoch_ = 0;
+
+    // Arbitration-phase DATA ownership.
+    bool medDrivingData_ = false;
+
+    // Watchdog address/byte tracking.
+    int addrBitsSeen_ = 0;
+    int addrBitsExpected_ = 8;
+    std::uint64_t addrAccum_ = 0;
+    std::uint64_t dataCyclesSeen_ = 0;
+
+    // Interjection.
+    InterjectReason reason_ = InterjectReason::RingBreak;
+    int togglesDriven_ = 0;
+    std::uint64_t dataInEdgesDuringIntj_ = 0;
+
+    // Control.
+    std::uint32_t ctlRising_ = 0;
+    std::uint32_t ctlFalling_ = 0;
+    bool ctlBit0_ = false;
+    bool ctlBit1_ = false;
+
+    std::size_t maxMessageBytes_ = kMinMaxMessageBytes;
+    std::function<void()> onIdle_;
+    MediatorStats stats_;
+};
+
+} // namespace bus
+} // namespace mbus
+
+#endif // MBUS_BUS_MEDIATOR_HH

@@ -1,0 +1,34 @@
+#include "mbus/protocol.hh"
+
+namespace mbus {
+namespace bus {
+
+const char *
+controlCodeName(ControlCode code)
+{
+    switch (code) {
+      case ControlCode::AckEom: return "ACK_EOM";
+      case ControlCode::NakEom: return "NAK_EOM";
+      case ControlCode::GeneralError: return "GENERAL_ERROR";
+      case ControlCode::Abort: return "ABORT";
+      default: return "?";
+    }
+}
+
+const char *
+txStatusName(TxStatus status)
+{
+    switch (status) {
+      case TxStatus::Ack: return "ACK";
+      case TxStatus::Nak: return "NAK";
+      case TxStatus::Broadcast: return "BROADCAST";
+      case TxStatus::Interrupted: return "INTERRUPTED";
+      case TxStatus::RxAbort: return "RX_ABORT";
+      case TxStatus::GeneralError: return "GENERAL_ERROR";
+      case TxStatus::LostArbitration: return "LOST_ARBITRATION";
+      default: return "?";
+    }
+}
+
+} // namespace bus
+} // namespace mbus

@@ -1,0 +1,130 @@
+#include "mbus/resumable.hh"
+
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace bus {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8;
+
+std::uint32_t
+beWord(const std::vector<std::uint8_t> &bytes, std::size_t offset)
+{
+    return (std::uint32_t(bytes[offset]) << 24) |
+           (std::uint32_t(bytes[offset + 1]) << 16) |
+           (std::uint32_t(bytes[offset + 2]) << 8) |
+           std::uint32_t(bytes[offset + 3]);
+}
+
+void
+pushWord(std::vector<std::uint8_t> &bytes, std::uint32_t value)
+{
+    bytes.push_back(static_cast<std::uint8_t>(value >> 24));
+    bytes.push_back(static_cast<std::uint8_t>(value >> 16));
+    bytes.push_back(static_cast<std::uint8_t>(value >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(value));
+}
+
+} // namespace
+
+void
+ResumableSender::send(std::uint8_t destPrefix,
+                      std::vector<std::uint8_t> data, DoneCallback done)
+{
+    destPrefix_ = destPrefix;
+    data_ = std::move(data);
+    done_ = std::move(done);
+    attempts_ = 0;
+    sendFrom(0);
+}
+
+void
+ResumableSender::sendFrom(std::size_t offset)
+{
+    ++attempts_;
+    Message msg;
+    msg.dest = Address::shortAddr(destPrefix_, kFuResumable);
+    msg.payload.reserve(kHeaderBytes + data_.size() - offset);
+    pushWord(msg.payload, static_cast<std::uint32_t>(offset));
+    pushWord(msg.payload, static_cast<std::uint32_t>(data_.size()));
+    msg.payload.insert(msg.payload.end(),
+                       data_.begin() +
+                           static_cast<std::ptrdiff_t>(offset),
+                       data_.end());
+
+    node_.send(std::move(msg), [this, offset](const TxResult &r) {
+        if (r.status == TxStatus::Ack) {
+            if (done_)
+                done_(true, attempts_);
+            return;
+        }
+        if (attempts_ >= maxAttempts_ ||
+            (r.status != TxStatus::Interrupted &&
+             r.status != TxStatus::RxAbort)) {
+            if (done_)
+                done_(false, attempts_);
+            return;
+        }
+        // Resume: bytesSent counts payload bytes on the wire, which
+        // includes our header. Resume one byte early for safety --
+        // offsets make the overlap idempotent.
+        std::size_t sent_data = r.bytesSent > kHeaderBytes
+                                    ? r.bytesSent - kHeaderBytes
+                                    : 0;
+        if (sent_data > 0)
+            --sent_data;
+        sendFrom(offset + sent_data);
+    });
+}
+
+ResumableReceiver::ResumableReceiver(Node &node)
+{
+    node.layer().addPreDispatchHandler(
+        [this](const ReceivedMessage &rx) { return onMessage(rx); });
+}
+
+bool
+ResumableReceiver::onMessage(const ReceivedMessage &rx)
+{
+    if (rx.dest.isBroadcast() || rx.dest.fuId() != kFuResumable)
+        return false;
+    if (rx.payload.size() < kHeaderBytes)
+        return true; // Malformed fragment of ours; swallow it.
+
+    std::size_t offset = beWord(rx.payload, 0);
+    std::size_t total = beWord(rx.payload, 4);
+    if (total == 0 || offset > total) {
+        sim::warn("resumable chunk with bad header ignored");
+        return true;
+    }
+    if (buffer_.size() != total) {
+        buffer_.assign(total, 0);
+        have_.assign(total, false);
+        received_ = 0;
+    }
+    ++chunks_;
+
+    std::size_t count = rx.payload.size() - kHeaderBytes;
+    for (std::size_t i = 0; i < count && offset + i < total; ++i) {
+        std::size_t at = offset + i;
+        if (!have_[at]) {
+            have_[at] = true;
+            ++received_;
+        }
+        buffer_[at] = rx.payload[kHeaderBytes + i];
+    }
+
+    if (received_ == total && onComplete_) {
+        auto done = buffer_;
+        buffer_.clear();
+        have_.clear();
+        received_ = 0;
+        onComplete_(done);
+    }
+    return true;
+}
+
+} // namespace bus
+} // namespace mbus

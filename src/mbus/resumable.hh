@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Resumable messages: the Section 7 future-work sketch, implemented.
+ *
+ * "The design of MBus lends itself well to resuming an interrupted
+ * transmission (both TX and RX nodes know how far through a message
+ * they were)" -- but "nodes must have buffer(s) for multiple
+ * in-flight transactions and preserve state across transactions."
+ *
+ * This layer-level extension uses a well-known functional unit
+ * (kFuResumable) whose messages carry an 8-byte header:
+ *
+ *   { offset[4 BE], total[4 BE] } + chunk bytes
+ *
+ * The sender ships the whole remainder each attempt; if a third
+ * party interjects, TxResult::bytesSent says how much landed, and
+ * the sender retries from a conservative resume point. Offsets make
+ * reassembly idempotent, so overlap between attempts is harmless.
+ * The receiver completes when its buffer fills.
+ */
+
+#ifndef MBUS_BUS_RESUMABLE_HH
+#define MBUS_BUS_RESUMABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mbus/message.hh"
+#include "mbus/node.hh"
+
+namespace mbus {
+namespace bus {
+
+/** The well-known resumable-transfer functional unit. */
+constexpr std::uint8_t kFuResumable = 6;
+
+/**
+ * Sender side of a resumable transfer.
+ */
+class ResumableSender
+{
+  public:
+    /** Completion callback: success plus attempts used. */
+    using DoneCallback = std::function<void(bool ok, int attempts)>;
+
+    /**
+     * @param node The transmitting node.
+     * @param maxAttempts Give up after this many interjections.
+     */
+    ResumableSender(Node &node, int maxAttempts = 8)
+        : node_(node), maxAttempts_(maxAttempts)
+    {}
+
+    /**
+     * Ship @p data to @p destPrefix's resumable FU, resuming across
+     * interjections.
+     */
+    void send(std::uint8_t destPrefix, std::vector<std::uint8_t> data,
+              DoneCallback done);
+
+    int attempts() const { return attempts_; }
+
+  private:
+    void sendFrom(std::size_t offset);
+
+    Node &node_;
+    int maxAttempts_;
+    int attempts_ = 0;
+    std::uint8_t destPrefix_ = 0;
+    std::vector<std::uint8_t> data_;
+    DoneCallback done_;
+};
+
+/**
+ * Receiver side: reassembles offset-tagged chunks into a buffer and
+ * reports completion once every byte has arrived.
+ */
+class ResumableReceiver
+{
+  public:
+    using CompleteCallback =
+        std::function<void(const std::vector<std::uint8_t> &data)>;
+
+    /**
+     * Attach to @p node: consumes messages addressed to
+     * kFuResumable via the layer's pre-dispatch chain.
+     */
+    explicit ResumableReceiver(Node &node);
+
+    void setOnComplete(CompleteCallback fn) { onComplete_ = std::move(fn); }
+
+    /** Chunks accepted so far (for stats/tests). */
+    int chunksReceived() const { return chunks_; }
+
+  private:
+    bool onMessage(const ReceivedMessage &rx);
+
+    std::vector<std::uint8_t> buffer_;
+    std::vector<bool> have_;
+    std::size_t received_ = 0;
+    int chunks_ = 0;
+    CompleteCallback onComplete_;
+};
+
+} // namespace bus
+} // namespace mbus
+
+#endif // MBUS_BUS_RESUMABLE_HH

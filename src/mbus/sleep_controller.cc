@@ -1,0 +1,46 @@
+#include "mbus/sleep_controller.hh"
+
+namespace mbus {
+namespace bus {
+
+SleepController::SleepController(wire::Net &localClk,
+                                 power::PowerDomain &busDomain)
+    : busDomain_(busDomain)
+{
+    localClk.subscribe(wire::Edge::Any,
+                       [this](bool v) { onClkEdge(v); });
+}
+
+void
+SleepController::onClkEdge(bool value)
+{
+    if (!active_) {
+        active_ = true;
+        ++transactions_;
+        rising_ = 0;
+        falling_ = 0;
+    }
+    if (value)
+        ++rising_;
+    else
+        ++falling_;
+
+    // Repurpose the edge as one rung of the bus controller's wakeup
+    // ladder (Sec 4.4). Surplus edges are no-ops.
+    if (!busDomain_.active())
+        busDomain_.step();
+
+    if (hook_)
+        hook_(value);
+}
+
+void
+SleepController::noteIdle()
+{
+    active_ = false;
+    rising_ = 0;
+    falling_ = 0;
+}
+
+} // namespace bus
+} // namespace mbus

@@ -1,0 +1,413 @@
+#include "mbus/system.hh"
+
+#include <set>
+#include <utility>
+
+#include "power/constants.hh"
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace bus {
+
+MBusSystem::MBusSystem(sim::Simulator &sim, SystemConfig cfg)
+    : sim_(sim), cfg_(std::move(cfg))
+{
+    if (cfg_.dataLanes < 1 || cfg_.dataLanes > 4)
+        mbus_fatal("MBus supports 1..4 DATA lanes, got ",
+                   cfg_.dataLanes);
+}
+
+MBusSystem::~MBusSystem() = default;
+
+Node &
+MBusSystem::addNode(NodeConfig cfg)
+{
+    if (finalized_)
+        mbus_fatal("addNode() after finalize()");
+    if (cfg.name.empty())
+        cfg.name = "node" + std::to_string(nodes_.size());
+    cfg.dataLanes = cfg_.dataLanes;
+    nodes_.push_back(std::make_unique<Node>(
+        sim_, cfg_, std::move(cfg), nodes_.size(), ledger_, energy_));
+    return *nodes_.back();
+}
+
+double
+MBusSystem::maxSafeClockHz() const
+{
+    // A bit driven on a falling edge must settle at every receiver
+    // before that receiver's rising-edge latch: the worst-case path
+    // wraps the whole ring, so T/2 >= (N + 2) hops (+ any software
+    // member's response latency).
+    double hop_s = sim::toSeconds(cfg_.hopDelay);
+    double half_period_floor =
+        hop_s * (static_cast<double>(nodes_.size()) + 2.0) +
+        sim::toSeconds(cfg_.extraRingLatency);
+    return 1.0 / (2.0 * half_period_floor);
+}
+
+void
+MBusSystem::finalize()
+{
+    if (finalized_)
+        mbus_fatal("finalize() called twice");
+    if (nodes_.size() < 2)
+        mbus_fatal("an MBus system needs at least 2 nodes");
+    finalized_ = true;
+
+    // Duplicate static short prefixes make two nodes match (and ACK)
+    // the same address: a wiring error, not a runtime condition.
+    std::set<std::uint8_t> statics;
+    for (const auto &n : nodes_) {
+        auto p = n->config().staticShortPrefix;
+        if (!p)
+            continue;
+        if (*p == kBroadcastPrefix || *p == kFullAddressMarker)
+            mbus_fatal("node ", n->name(), ": reserved short prefix ",
+                       int(*p));
+        if (!statics.insert(*p).second)
+            mbus_fatal("duplicate static short prefix ", int(*p),
+                       "; use enumeration for duplicate chips "
+                       "(Sec 4.7)");
+    }
+
+    if (cfg_.busClockHz > maxSafeClockHz()) {
+        mbus_fatal("bus clock ", cfg_.busClockHz / 1e6,
+                   " MHz exceeds the safe limit ",
+                   maxSafeClockHz() / 1e6, " MHz for ", nodes_.size(),
+                   " nodes at ", sim::toSeconds(cfg_.hopDelay) * 1e9,
+                   " ns/hop");
+    }
+
+    std::size_t n = nodes_.size();
+    ledger_.resize(n);
+    laneSegs_.resize(static_cast<std::size_t>(cfg_.dataLanes) - 1);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        std::string base = nodes_[i]->name();
+        clkSegs_.push_back(std::make_unique<wire::Net>(
+            sim_, base + ".CLK_OUT", cfg_.hopDelay, true));
+        dataSegs_.push_back(std::make_unique<wire::Net>(
+            sim_, base + ".DATA_OUT", cfg_.hopDelay, true));
+        for (std::size_t l = 0; l < laneSegs_.size(); ++l) {
+            laneSegs_[l].push_back(std::make_unique<wire::Net>(
+                sim_, base + ".DATA" + std::to_string(l + 1) + "_OUT",
+                cfg_.hopDelay, true));
+        }
+    }
+
+    // Switching-energy taps: each transition on a segment charges the
+    // driving chip (output pad + wire + next chip's input pad).
+    for (std::size_t i = 0; i < n; ++i) {
+        clkSegs_[i]->subscribe(wire::Edge::Any, [this, i](bool) {
+            ledger_.charge(i, power::EnergyCategory::SegmentClk,
+                           energy_.segmentEdge());
+        });
+        dataSegs_[i]->subscribe(wire::Edge::Any, [this, i](bool) {
+            ledger_.charge(i, power::EnergyCategory::SegmentData,
+                           energy_.segmentEdge());
+        });
+        for (auto &lane : laneSegs_) {
+            lane[i]->subscribe(wire::Edge::Any, [this, i](bool) {
+                ledger_.charge(i, power::EnergyCategory::SegmentData,
+                               energy_.segmentEdge());
+            });
+        }
+    }
+
+    medLink_ = std::make_unique<MediatorHostLink>();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t prev = (i + n - 1) % n;
+        std::vector<wire::Net *> lane_ins, lane_outs;
+        for (auto &lane : laneSegs_) {
+            lane_ins.push_back(lane[prev].get());
+            lane_outs.push_back(lane[i].get());
+        }
+        bool is_host = (i == 0);
+        nodes_[i]->bind(*clkSegs_[prev], *clkSegs_[i], *dataSegs_[prev],
+                        *dataSegs_[i], std::move(lane_ins),
+                        std::move(lane_outs), is_host,
+                        is_host ? medLink_.get() : nullptr);
+    }
+
+    Mediator::Context mctx{
+        sim_,
+        cfg_,
+        *clkSegs_[n - 1],
+        *dataSegs_[n - 1],
+        nodes_[0]->clkWireController(),
+        nodes_[0]->dataWireController(),
+        ledger_,
+        energy_,
+        /*nodeId=*/0,
+        /*ringSize=*/n,
+        *medLink_};
+    mediator_ = std::make_unique<Mediator>(std::move(mctx));
+    mediator_->setMaxMessageBytes(cfg_.maxMessageBytes);
+    mediator_->arm();
+    medLink_->requestInterjection = [this] {
+        mediator_->hostInterjectionRequest();
+    };
+
+    // The mediator host listens to the configuration channel and
+    // applies updates to the live mediator (Sec 7).
+    nodes_[0]->layer().addPreDispatchHandler(
+        [this](const ReceivedMessage &rx) {
+            return handleConfigBroadcast(rx);
+        });
+}
+
+bool
+MBusSystem::handleConfigBroadcast(const ReceivedMessage &rx)
+{
+    if (!rx.dest.isBroadcast() || rx.dest.channel() != kChannelConfig)
+        return false;
+    if (rx.payload.size() < 5)
+        return true;
+    std::uint32_t value = (std::uint32_t(rx.payload[1]) << 24) |
+                          (std::uint32_t(rx.payload[2]) << 16) |
+                          (std::uint32_t(rx.payload[3]) << 8) |
+                          std::uint32_t(rx.payload[4]);
+    switch (rx.payload[0]) {
+      case kConfigCmdMaxLength:
+        cfg_.maxMessageBytes = value;
+        mediator_->setMaxMessageBytes(value);
+        break;
+      case kConfigCmdClockHz:
+        if (value > maxSafeClockHz()) {
+            sim::warn("config clock ", value,
+                 " Hz exceeds safe limit; ignored");
+        } else {
+            cfg_.busClockHz = value; // Applied from the next idle.
+        }
+        break;
+      default:
+        sim::warn("unknown config command ", int(rx.payload[0]));
+        break;
+    }
+    return true;
+}
+
+Node *
+MBusSystem::nodeByName(const std::string &name)
+{
+    for (auto &n : nodes_)
+        if (n->name() == name)
+            return n.get();
+    return nullptr;
+}
+
+wire::Net &
+MBusSystem::laneSegment(int lane, std::size_t i)
+{
+    if (lane < 1 || lane >= cfg_.dataLanes)
+        mbus_fatal("laneSegment: lane ", lane, " out of range");
+    return *laneSegs_.at(static_cast<std::size_t>(lane - 1)).at(i);
+}
+
+std::optional<TxResult>
+MBusSystem::sendAndWait(std::size_t fromNode, Message msg,
+                        sim::SimTime timeout)
+{
+    std::optional<TxResult> result;
+    node(fromNode).send(std::move(msg),
+                        [&result](const TxResult &r) { result = r; });
+    sim::SimTime limit = timeout == sim::kTimeForever
+                             ? sim::kTimeForever
+                             : sim_.now() + timeout;
+    sim_.runUntil([&result] { return result.has_value(); }, limit);
+    return result;
+}
+
+bool
+MBusSystem::runUntilIdle(sim::SimTime timeout)
+{
+    sim::SimTime limit = timeout == sim::kTimeForever
+                             ? sim::kTimeForever
+                             : sim_.now() + timeout;
+    return sim_.runUntil(
+        [this] {
+            if (!mediator_->asleep())
+                return false;
+            for (auto &n : nodes_) {
+                if (n->sleepController().transactionActive() ||
+                    n->busController().pendingTx() > 0) {
+                    return false;
+                }
+            }
+            return true;
+        },
+        limit);
+}
+
+int
+MBusSystem::enumerateAll(std::size_t enumeratorNode)
+{
+    Node &enumerator = node(enumeratorNode);
+    if (!enumerator.busController().hasShortPrefix())
+        mbus_fatal("enumerator needs a short prefix of its own");
+
+    // Reply channel: the enumerator's mailbox FU.
+    std::uint8_t reply_byte = static_cast<std::uint8_t>(
+        (enumerator.shortPrefix() << 4) | kFuMailbox);
+
+    enumerator.layer().setMailboxHandler(
+        [this](const ReceivedMessage &rx) {
+            if (rx.payload.size() == 4 && rx.payload[0] == 0x02) {
+                enumReplySeen_ = true;
+                lastEnumFullPrefix_ =
+                    (std::uint32_t(rx.payload[1]) << 16) |
+                    (std::uint32_t(rx.payload[2]) << 8) |
+                    std::uint32_t(rx.payload[3]);
+            }
+        });
+
+    // Short prefixes already in use (statics + the enumerator).
+    std::set<std::uint8_t> used;
+    for (auto &n : nodes_)
+        if (n->busController().hasShortPrefix())
+            used.insert(n->shortPrefix());
+
+    int assigned = 0;
+    for (std::uint8_t candidate = 1; candidate <= 0xE; ++candidate) {
+        if (used.count(candidate))
+            continue;
+
+        enumReplySeen_ = false;
+        Message probe;
+        probe.dest = Address::broadcast(kChannelEnumerate);
+        probe.payload = {0x01, candidate, reply_byte};
+
+        bool probe_done = false;
+        enumerator.send(std::move(probe),
+                        [&probe_done](const TxResult &) {
+                            probe_done = true;
+                        });
+
+        // Wait for the probe, the replies, and the winner's
+        // self-assignment to settle.
+        sim::SimTime settle =
+            200 * sim::periodFromHz(cfg_.busClockHz) +
+            2 * sim::kMillisecond;
+        sim_.runUntil([this, &probe_done] {
+            return probe_done && enumReplySeen_;
+        }, sim_.now() + settle);
+        runUntilIdle(settle);
+
+        if (!enumReplySeen_)
+            break; // No unassigned node answered: enumeration done.
+        ++assigned;
+    }
+    return assigned;
+}
+
+void
+MBusSystem::broadcastMaxMessageLength(std::size_t fromNode,
+                                      std::uint32_t bytes)
+{
+    Message msg;
+    msg.dest = Address::broadcast(kChannelConfig);
+    msg.payload = {kConfigCmdMaxLength,
+                   static_cast<std::uint8_t>((bytes >> 24) & 0xFF),
+                   static_cast<std::uint8_t>((bytes >> 16) & 0xFF),
+                   static_cast<std::uint8_t>((bytes >> 8) & 0xFF),
+                   static_cast<std::uint8_t>(bytes & 0xFF)};
+    // Transmitters do not hear their own broadcasts; when the sender
+    // is the mediator host, apply the setting on completion.
+    node(fromNode).send(std::move(msg),
+                        [this, bytes](const TxResult &r) {
+                            if (r.status == TxStatus::Broadcast) {
+                                cfg_.maxMessageBytes = bytes;
+                                mediator_->setMaxMessageBytes(bytes);
+                            }
+                        });
+}
+
+bool
+MBusSystem::recoverBus(sim::SimTime timeout)
+{
+    mediator_->forceInterjection();
+    return runUntilIdle(timeout);
+}
+
+void
+MBusSystem::setArbBreakNode(std::size_t idx)
+{
+    if (!cfg_.useNodeArbBreak)
+        mbus_fatal("setArbBreakNode requires "
+                   "SystemConfig::useNodeArbBreak");
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        nodes_[i]->setArbBreakRole(i == idx);
+    arbBreakIdx_ = idx;
+}
+
+void
+MBusSystem::enableRotatingPriority()
+{
+    if (!cfg_.useNodeArbBreak)
+        mbus_fatal("enableRotatingPriority requires "
+                   "SystemConfig::useNodeArbBreak");
+    rotatingPriority_ = true;
+    setArbBreakNode(arbBreakIdx_);
+    mediator_->setOnIdle([this] {
+        if (!rotatingPriority_)
+            return;
+        setArbBreakNode((arbBreakIdx_ + 1) % nodes_.size());
+    });
+}
+
+void
+MBusSystem::attachTrace(sim::TraceRecorder &recorder)
+{
+    for (auto &seg : clkSegs_)
+        seg->trace(recorder);
+    for (auto &seg : dataSegs_)
+        seg->trace(recorder);
+    for (auto &lane : laneSegs_)
+        for (auto &seg : lane)
+            seg->trace(recorder);
+}
+
+void
+MBusSystem::dumpStats(std::ostream &os) const
+{
+    os << "=== MBus system statistics @ "
+       << sim::toSeconds(sim_.now()) << " s ===\n";
+    const MediatorStats &m = mediator_->stats();
+    os << "mediator: transactions=" << m.transactions
+       << " interjections=" << m.interjections
+       << " generalErrors=" << m.generalErrors
+       << " watchdogKills=" << m.watchdogKills
+       << " clockCycles=" << m.clockCycles << "\n";
+    for (const auto &n : nodes_) {
+        const BusControllerStats &s = n->busController().stats();
+        os << n->name() << ": tx=" << s.messagesSent
+           << " acked=" << s.messagesAcked
+           << " naked=" << s.messagesNaked
+           << " failed=" << s.messagesFailed
+           << " rx=" << s.messagesReceived
+           << " bytesTx=" << s.bytesSent
+           << " bytesRx=" << s.bytesReceived
+           << " arbLosses=" << s.arbitrationLosses
+           << " priWins=" << s.priorityWins
+           << " interjReq=" << s.interjectionsRequested
+           << " wakeups=" << n->busDomain().wakeupCount() << "/"
+           << n->layerDomain().wakeupCount() << "\n";
+    }
+    os << "energy: dynamic=" << ledger_.total() * 1e9
+       << " nJ (sim scale), leakage=" << idleLeakageJ() * 1e9
+       << " nJ over " << sim::toSeconds(sim_.now()) << " s\n";
+    ledger_.report(os);
+}
+
+double
+MBusSystem::idleLeakageJ() const
+{
+    return power::kIdleLeakagePerChipW *
+           static_cast<double>(nodes_.size()) *
+           sim::toSeconds(sim_.now());
+}
+
+} // namespace bus
+} // namespace mbus

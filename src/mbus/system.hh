@@ -1,0 +1,180 @@
+/**
+ * @file
+ * MBusSystem: builds and operates a complete MBus ring.
+ *
+ * Owns the ring segments (Nets), the nodes, the mediator, the energy
+ * ledger, and the live system configuration. Node 0 hosts the
+ * mediator, mirroring the paper's systems where the mediator is a
+ * block on the processor chip.
+ */
+
+#ifndef MBUS_BUS_SYSTEM_HH
+#define MBUS_BUS_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mbus/config.hh"
+#include "mbus/mediator.hh"
+#include "mbus/message.hh"
+#include "mbus/node.hh"
+#include "power/energy.hh"
+#include "power/switching.hh"
+#include "sim/simulator.hh"
+#include "sim/vcd.hh"
+
+namespace mbus {
+namespace bus {
+
+/**
+ * A complete MBus system: ring, nodes, mediator, energy accounting.
+ */
+class MBusSystem
+{
+  public:
+    /**
+     * @param sim The simulator this system lives in.
+     * @param cfg System-wide parameters.
+     */
+    MBusSystem(sim::Simulator &sim, SystemConfig cfg = {});
+
+    MBusSystem(const MBusSystem &) = delete;
+    MBusSystem &operator=(const MBusSystem &) = delete;
+    ~MBusSystem();
+
+    /**
+     * Add a chip to the ring (in ring order). The first node added
+     * hosts the mediator. Must be called before finalize().
+     */
+    Node &addNode(NodeConfig cfg);
+
+    /** Build segments, wire nodes, create the mediator. */
+    void finalize();
+
+    // --- Access -----------------------------------------------------
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+    Node &node(std::size_t i) { return *nodes_.at(i); }
+    const Node &node(std::size_t i) const { return *nodes_.at(i); }
+    Node *nodeByName(const std::string &name);
+
+    Mediator &mediator() { return *mediator_; }
+    power::EnergyLedger &ledger() { return ledger_; }
+    const power::SwitchingEnergyModel &energy() const { return energy_; }
+    SystemConfig &config() { return cfg_; }
+    sim::Simulator &simulator() { return sim_; }
+
+    /** CLK segment driven by node @p i. */
+    wire::Net &clkSegment(std::size_t i) { return *clkSegs_.at(i); }
+    /** DATA segment (lane 0) driven by node @p i. */
+    wire::Net &dataSegment(std::size_t i) { return *dataSegs_.at(i); }
+    /** Extra-lane DATA segment driven by node @p i. */
+    wire::Net &laneSegment(int lane, std::size_t i);
+
+    // --- Convenience operation -----------------------------------------
+
+    /**
+     * Send from @p fromNode and run the simulator until the send
+     * completes (or @p timeout passes).
+     *
+     * @return the result, or std::nullopt on timeout.
+     */
+    std::optional<TxResult> sendAndWait(std::size_t fromNode, Message msg,
+                                        sim::SimTime timeout =
+                                            sim::kTimeForever);
+
+    /** Run the simulator until the bus is idle everywhere. */
+    bool runUntilIdle(sim::SimTime timeout = sim::kTimeForever);
+
+    /**
+     * Run-time enumeration (Sec 4.7): broadcast ENUMERATE commands
+     * from @p enumeratorNode until no unassigned node replies.
+     * The enumerator must already hold a short prefix.
+     *
+     * @return the number of prefixes assigned.
+     */
+    int enumerateAll(std::size_t enumeratorNode);
+
+    /**
+     * Broadcast a configuration message (channel 1) updating the
+     * mediator's maximum message length (Sec 7).
+     */
+    void broadcastMaxMessageLength(std::size_t enumeratorNode,
+                                   std::uint32_t bytes);
+
+    /**
+     * System-software bus rescue: drive a mediator interjection that
+     * resets every bus controller, then wait for idle (Sec 4.9).
+     *
+     * @return true once the bus is idle again.
+     */
+    bool recoverBus(sim::SimTime timeout = sim::kSecond);
+
+    /**
+     * Mutable priority (Sec 7): assign the arbitration ring break to
+     * node @p idx. Requires SystemConfig::useNodeArbBreak.
+     */
+    void setArbBreakNode(std::size_t idx);
+
+    /**
+     * The fair scheme sketched in Sec 7 (credited to Campbell and
+     * Horowitz): rotate the arbitration break to the next node after
+     * every transaction. Requires SystemConfig::useNodeArbBreak.
+     */
+    void enableRotatingPriority();
+
+    /** Attach a trace recorder to every ring segment. */
+    void attachTrace(sim::TraceRecorder &recorder);
+
+    /**
+     * Aggregate every controller's counters, the mediator stats, the
+     * energy ledger, and leakage into one human-readable report.
+     */
+    void dumpStats(std::ostream &os) const;
+
+    /** Idle leakage integrated over simulated time so far (J). */
+    double idleLeakageJ() const;
+
+    /** Theoretical max bus clock for this ring in our conservative
+     *  timing model (data must settle within the latch half-period;
+     *  see EXPERIMENTS.md for the relation to the paper's Fig 9). */
+    double maxSafeClockHz() const;
+
+  private:
+    bool handleConfigBroadcast(const ReceivedMessage &rx);
+
+    sim::Simulator &sim_;
+    SystemConfig cfg_;
+    power::EnergyLedger ledger_;
+    power::SwitchingEnergyModel energy_;
+
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<std::unique_ptr<wire::Net>> clkSegs_;
+    std::vector<std::unique_ptr<wire::Net>> dataSegs_;
+    std::vector<std::vector<std::unique_ptr<wire::Net>>> laneSegs_;
+    std::unique_ptr<Mediator> mediator_;
+    std::unique_ptr<MediatorHostLink> medLink_;
+    bool finalized_ = false;
+
+    // Enumeration bookkeeping.
+    bool enumReplySeen_ = false;
+    std::uint32_t lastEnumFullPrefix_ = 0;
+
+    // Mutable-priority bookkeeping.
+    std::size_t arbBreakIdx_ = 0;
+    bool rotatingPriority_ = false;
+};
+
+/** Well-known config-channel command bytes. */
+enum : std::uint8_t {
+    kConfigCmdMaxLength = 0x01,
+    kConfigCmdClockHz = 0x02,
+};
+
+} // namespace bus
+} // namespace mbus
+
+#endif // MBUS_BUS_SYSTEM_HH

@@ -1,0 +1,37 @@
+#include "mbus/wire_controller.hh"
+
+namespace mbus {
+namespace bus {
+
+WireController::WireController(wire::Net &in, wire::Net &out)
+    : in_(in), out_(out)
+{
+    in_.subscribe(wire::Edge::Any, [this](bool v) { onInput(v); });
+}
+
+void
+WireController::onInput(bool v)
+{
+    if (mode_ == Mode::Forward)
+        out_.drive(v);
+}
+
+void
+WireController::forward()
+{
+    mode_ = Mode::Forward;
+    // Handoff: the output snaps to whatever the input holds now. If
+    // that differs from the driven value this emits the drive-to-
+    // forward glitch described in Figure 5.
+    out_.drive(in_.value());
+}
+
+void
+WireController::drive(bool v)
+{
+    mode_ = Mode::Drive;
+    out_.drive(v);
+}
+
+} // namespace bus
+} // namespace mbus

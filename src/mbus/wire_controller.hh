@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The always-on wire controller: the forward/drive mux on one ring.
+ *
+ * Every MBus chip has exactly this much always-powered logic per
+ * line: a mux that either forwards the input to the output (the
+ * "shoot-through" path) or drives a locally chosen value. Switching
+ * from driving back to forwarding snaps the output to the current
+ * input, which is what produces the momentary glitches the paper
+ * notes in Figure 5 -- they resolve within a hop delay, before the
+ * next latch edge.
+ */
+
+#ifndef MBUS_BUS_WIRE_CONTROLLER_HH
+#define MBUS_BUS_WIRE_CONTROLLER_HH
+
+#include <cstdint>
+
+#include "wire/net.hh"
+
+namespace mbus {
+namespace bus {
+
+/** Forward/drive mux for one node on one ring line. */
+class WireController
+{
+  public:
+    enum class Mode : std::uint8_t { Forward, Drive };
+
+    /**
+     * @param in The upstream ring segment (this node's IN pad).
+     * @param out The downstream ring segment (this node's OUT pad).
+     */
+    WireController(wire::Net &in, wire::Net &out);
+
+    /** Switch to (or remain in) forwarding mode. */
+    void forward();
+
+    /** Drive a fixed value, breaking the ring at this node. */
+    void drive(bool v);
+
+    Mode mode() const { return mode_; }
+
+    /** @return the value this node is currently putting out. */
+    bool outputValue() const { return out_.drivenValue(); }
+
+    /** @return true if currently forwarding. */
+    bool forwarding() const { return mode_ == Mode::Forward; }
+
+  private:
+    void onInput(bool v);
+
+    wire::Net &in_;
+    wire::Net &out_;
+    Mode mode_ = Mode::Forward;
+};
+
+} // namespace bus
+} // namespace mbus
+
+#endif // MBUS_BUS_WIRE_CONTROLLER_HH

@@ -1,0 +1,3 @@
+// Battery is header-only; this file anchors the library target.
+
+#include "power/battery.hh"

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The crude battery model the paper uses for lifetime arithmetic.
+ *
+ * Section 6.3.1: "Using the crude battery capacity approximation of
+ * 2 uAh x 3.8 V = 27.4 mJ" -- capacity times nominal voltage, no
+ * discharge curve. We reproduce exactly that so the 44.5 -> 47.5 day
+ * lifetime numbers regenerate.
+ */
+
+#ifndef MBUS_POWER_BATTERY_HH
+#define MBUS_POWER_BATTERY_HH
+
+namespace mbus {
+namespace power {
+
+/** A capacity-times-voltage battery. */
+class Battery
+{
+  public:
+    /**
+     * @param capacityUah Capacity in microamp-hours.
+     * @param voltage Nominal voltage.
+     */
+    Battery(double capacityUah, double voltage)
+        : capacityUah_(capacityUah), voltage_(voltage)
+    {}
+
+    /** Total stored energy in joules (uAh * 3600 * 1e-6 * V). */
+    double
+    energyJ() const
+    {
+        return capacityUah_ * 1e-6 * 3600.0 * voltage_;
+    }
+
+    /** Lifetime in seconds at a constant average power draw. */
+    double
+    lifetimeSeconds(double watts) const
+    {
+        return energyJ() / watts;
+    }
+
+    /** Lifetime in days at a constant average power draw. */
+    double
+    lifetimeDays(double watts) const
+    {
+        return lifetimeSeconds(watts) / 86400.0;
+    }
+
+    double capacityUah() const { return capacityUah_; }
+    double voltage() const { return voltage_; }
+
+  private:
+    double capacityUah_;
+    double voltage_;
+};
+
+} // namespace power
+} // namespace mbus
+
+#endif // MBUS_POWER_BATTERY_HH

@@ -1,0 +1,82 @@
+#include "power/domain.hh"
+
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace power {
+
+PowerDomain::PowerDomain(sim::Simulator &sim, std::string name,
+                         bool initiallyActive)
+    : sim_(sim), name_(std::move(name)),
+      state_(initiallyActive ? State::Active : State::Off)
+{
+}
+
+void
+PowerDomain::noteStateChange(State next)
+{
+    bool was_powered = state_ != State::Off;
+    bool now_powered = next != State::Off;
+    if (was_powered && !now_powered)
+        poweredAccum_ += sim_.now() - lastChange_;
+    if (was_powered != now_powered)
+        lastChange_ = sim_.now();
+    state_ = next;
+}
+
+void
+PowerDomain::step()
+{
+    switch (state_) {
+      case State::Off:
+        noteStateChange(State::Powered);
+        break;
+      case State::Powered:
+        noteStateChange(State::Clocked);
+        break;
+      case State::Clocked:
+        noteStateChange(State::Unisolated);
+        break;
+      case State::Unisolated:
+        noteStateChange(State::Active);
+        ++wakeups_;
+        if (onActive_)
+            onActive_();
+        break;
+      case State::Active:
+        break; // Surplus edges are harmless by design.
+    }
+}
+
+void
+PowerDomain::wakeImmediately()
+{
+    while (state_ != State::Active)
+        step();
+}
+
+void
+PowerDomain::shutdown()
+{
+    if (state_ == State::Off)
+        return;
+    bool was_active = state_ == State::Active;
+    noteStateChange(State::Off);
+    if (was_active) {
+        ++shutdowns_;
+        if (onShutdown_)
+            onShutdown_();
+    }
+}
+
+sim::SimTime
+PowerDomain::poweredTime() const
+{
+    sim::SimTime t = poweredAccum_;
+    if (state_ != State::Off)
+        t += sim_.now() - lastChange_;
+    return t;
+}
+
+} // namespace power
+} // namespace mbus

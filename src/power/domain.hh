@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Power-gated domains and the four-edge wakeup sequence.
+ *
+ * Section 3 of the paper ("Power-Aware") defines the fundamental
+ * sequence for powering on a gated circuit without glitches:
+ *
+ *   1. Release Power Gate   (supply power)
+ *   2. Release Clock        (let a local oscillator stabilise)
+ *   3. Release Isolation    (outputs no longer float)
+ *   4. Release Reset        (circuit joins the system)
+ *
+ * PowerDomain walks this ladder one step() per externally supplied
+ * edge -- exactly how MBus repurposes arbitration CLK edges as the
+ * wakeup sequence (Sec 4.4). shutdown() drops straight to Off and
+ * models full state loss through the onShutdown callback.
+ */
+
+#ifndef MBUS_POWER_DOMAIN_HH
+#define MBUS_POWER_DOMAIN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hh"
+#include "sim/types.hh"
+
+namespace mbus {
+namespace power {
+
+/**
+ * One power-gated domain walking the canonical wakeup ladder.
+ */
+class PowerDomain
+{
+  public:
+    /** Wakeup ladder states, in release order. */
+    enum class State : std::uint8_t {
+        Off,        ///< Power gated; all state lost.
+        Powered,    ///< Power gate released.
+        Clocked,    ///< Clock released (stabilising).
+        Unisolated, ///< Isolation released; outputs valid.
+        Active,     ///< Reset released; fully operational.
+    };
+
+    /**
+     * @param sim Owning simulator (for time accounting).
+     * @param name Diagnostic name ("n2.bus_ctrl").
+     * @param initiallyActive Domains that are never gated (the
+     *        always-on frontend) start Active.
+     */
+    PowerDomain(sim::Simulator &sim, std::string name,
+                bool initiallyActive = false);
+
+    const std::string &name() const { return name_; }
+
+    State state() const { return state_; }
+
+    /** @return true once the full wakeup ladder has completed. */
+    bool active() const { return state_ == State::Active; }
+
+    /** @return true while fully gated. */
+    bool off() const { return state_ == State::Off; }
+
+    /**
+     * Advance one rung of the wakeup ladder (one edge of the wakeup
+     * sequence). Calling step() on an Active domain is a no-op, so
+     * surplus arbitration edges are harmless, as the paper requires.
+     */
+    void step();
+
+    /** Jump through the remaining rungs at once (self-clocked nodes). */
+    void wakeImmediately();
+
+    /** Cut power. State is lost; onShutdown fires if it was Active. */
+    void shutdown();
+
+    /** Callback invoked when the domain completes wakeup. */
+    void setOnActive(std::function<void()> fn) { onActive_ = std::move(fn); }
+
+    /** Callback invoked when an Active domain loses power. */
+    void
+    setOnShutdown(std::function<void()> fn)
+    {
+        onShutdown_ = std::move(fn);
+    }
+
+    /** Number of completed wakeups. */
+    std::uint64_t wakeupCount() const { return wakeups_; }
+
+    /** Number of shutdowns from Active. */
+    std::uint64_t shutdownCount() const { return shutdowns_; }
+
+    /** Cumulative time spent not-Off, including now if not-Off. */
+    sim::SimTime poweredTime() const;
+
+  private:
+    void noteStateChange(State next);
+
+    sim::Simulator &sim_;
+    std::string name_;
+    State state_;
+
+    std::function<void()> onActive_;
+    std::function<void()> onShutdown_;
+
+    std::uint64_t wakeups_ = 0;
+    std::uint64_t shutdowns_ = 0;
+
+    sim::SimTime poweredAccum_ = 0;
+    sim::SimTime lastChange_ = 0;
+};
+
+/**
+ * An isolation gate on a signal crossing out of a power domain.
+ *
+ * While the source domain has not released isolation, reads return
+ * the safe default so floating outputs cannot confuse active logic
+ * (the "Power-Aware" requirement of Section 3).
+ */
+class IsolationGate
+{
+  public:
+    /**
+     * @param domain Source domain of the signal.
+     * @param source Reads the raw (possibly floating) signal.
+     * @param safeDefault Value presented while isolated.
+     */
+    IsolationGate(const PowerDomain &domain,
+                  std::function<bool()> source, bool safeDefault)
+        : domain_(domain), source_(std::move(source)),
+          safeDefault_(safeDefault)
+    {}
+
+    /** @return the isolated-or-real value. */
+    bool
+    read() const
+    {
+        bool isolated = domain_.state() == PowerDomain::State::Off ||
+                        domain_.state() == PowerDomain::State::Powered ||
+                        domain_.state() == PowerDomain::State::Clocked;
+        return isolated ? safeDefault_ : source_();
+    }
+
+  private:
+    const PowerDomain &domain_;
+    std::function<bool()> source_;
+    bool safeDefault_;
+};
+
+} // namespace power
+} // namespace mbus
+
+#endif // MBUS_POWER_DOMAIN_HH

@@ -1,0 +1,22 @@
+// SwitchingEnergyModel is header-only; this file anchors the library
+// target and holds the static_asserts validating the calibration
+// arithmetic laid out in power/constants.hh.
+
+#include "power/switching.hh"
+
+namespace mbus {
+namespace power {
+
+// The calibrated forwarding-role energy must land on the Table 3
+// derived value: 2 CLK edges + 0.5 DATA edges + comb per cycle.
+static_assert(kSimCalibration > 0.0, "calibration must be positive");
+
+namespace {
+constexpr double kFwdCheck =
+    (2.5 * kSegmentEdgeEnergyJ + kCombPerCycleJ) * kSimCalibration;
+static_assert(kFwdCheck > kSimFwdJ * 0.999 && kFwdCheck < kSimFwdJ * 1.001,
+              "forwarding-role calibration drifted from Table 3");
+} // namespace
+
+} // namespace power
+} // namespace mbus

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The calibrated CV^2 switching-energy model.
+ *
+ * Raw physics (half-CV^2 per edge on a pad+wire+pad segment, plus
+ * internal per-cycle component terms) multiplied by a single
+ * calibration scalar that maps our conservative 2 pF pad model onto
+ * the paper's post-APR PrimeTime result of 3.5 pJ/bit/chip. See
+ * power/constants.hh for the derivation of every number.
+ */
+
+#ifndef MBUS_POWER_SWITCHING_HH
+#define MBUS_POWER_SWITCHING_HH
+
+#include "power/constants.hh"
+
+namespace mbus {
+namespace power {
+
+/**
+ * Provides calibrated per-event energies for the simulator's charge
+ * sites. Stateless; exists as a class so alternative calibrations
+ * (e.g. the ablation benches) can be injected.
+ */
+class SwitchingEnergyModel
+{
+  public:
+    /**
+     * @param calibration Scalar applied to every raw CV^2 term.
+     *        Defaults to the paper-derived kSimCalibration.
+     */
+    explicit SwitchingEnergyModel(double calibration = kSimCalibration)
+        : calibration_(calibration)
+    {}
+
+    /** Energy per edge on one ring segment (driver-attributed). */
+    double
+    segmentEdge() const
+    {
+        return kSegmentEdgeEnergyJ * calibration_;
+    }
+
+    /** Forwarding combinational energy, per bus cycle per chip. */
+    double
+    combPerCycle() const
+    {
+        return kCombPerCycleJ * calibration_;
+    }
+
+    /** RX FIFO flop energy per latched bit. */
+    double fifoPerBit() const { return kFifoPerBitJ * calibration_; }
+
+    /** Transmit drive-logic energy per driven bit. */
+    double drivePerBit() const { return kDrivePerBitJ * calibration_; }
+
+    /** Mediator clock-generation energy per bus cycle. */
+    double
+    mediatorPerCycle() const
+    {
+        return kMediatorPerCycleJ * calibration_;
+    }
+
+    /** Idle leakage power per chip, watts. */
+    double idleLeakage() const { return kIdleLeakagePerChipW; }
+
+    /** Map a simulation-scale energy to the measured scale. */
+    static double
+    toMeasured(double simJoules)
+    {
+        return simJoules * kMeasuredOverheadFactor;
+    }
+
+    /** The active calibration scalar. */
+    double calibration() const { return calibration_; }
+
+  private:
+    double calibration_;
+};
+
+} // namespace power
+} // namespace mbus
+
+#endif // MBUS_POWER_SWITCHING_HH

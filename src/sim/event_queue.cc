@@ -1,0 +1,58 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace sim {
+
+EventHandle
+EventQueue::schedule(SimTime when, EventFunction fn)
+{
+    auto state = std::make_shared<EventHandle::State>();
+    state->liveCounter = live_;
+    heap_.push(Entry{when, nextSeq_++, std::move(fn), state});
+    ++*live_;
+    return EventHandle(std::move(state));
+}
+
+void
+EventQueue::skipCancelled() const
+{
+    while (!heap_.empty() && heap_.top().state->cancelled)
+        heap_.pop();
+}
+
+SimTime
+EventQueue::nextTime() const
+{
+    skipCancelled();
+    return heap_.empty() ? kTimeForever : heap_.top().when;
+}
+
+SimTime
+EventQueue::executeNext()
+{
+    skipCancelled();
+    if (heap_.empty())
+        mbus_panic("executeNext() on an empty event queue");
+
+    // priority_queue::top() is const; moving the closure out requires
+    // a copy-free extraction, so copy the small members and move via
+    // const_cast, which is safe because we pop immediately after.
+    Entry &top = const_cast<Entry &>(heap_.top());
+    SimTime when = top.when;
+    EventFunction fn = std::move(top.fn);
+    auto state = std::move(top.state);
+    heap_.pop();
+
+    state->fired = true;
+    --*live_;
+    ++executed_;
+    fn();
+    return when;
+}
+
+} // namespace sim
+} // namespace mbus

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulation kernel.
+ *
+ * Events are closures scheduled at absolute simulated times. Events
+ * scheduled for the same time fire in scheduling order (FIFO), which
+ * keeps simulations deterministic. Scheduling returns a handle that
+ * can cancel the event before it fires; cancellation is O(1) (the
+ * event is tombstoned and skipped at pop time).
+ */
+
+#ifndef MBUS_SIM_EVENT_QUEUE_HH
+#define MBUS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mbus {
+namespace sim {
+
+/** The callback type executed when an event fires. */
+using EventFunction = std::function<void()>;
+
+/**
+ * A cancellable reference to a scheduled event.
+ *
+ * Handles are cheap to copy and may outlive the event; cancelling an
+ * already-fired or already-cancelled event is a harmless no-op.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Cancel the referenced event if it has not fired yet. */
+    void
+    cancel()
+    {
+        if (auto s = state_.lock()) {
+            if (!s->cancelled && !s->fired) {
+                s->cancelled = true;
+                if (auto live = s->liveCounter.lock())
+                    --*live;
+            }
+        }
+    }
+
+    /** @return true if this handle references a still-pending event. */
+    bool
+    pending() const
+    {
+        auto s = state_.lock();
+        return s && !s->cancelled && !s->fired;
+    }
+
+  private:
+    friend class EventQueue;
+
+    struct State
+    {
+        bool cancelled = false;
+        bool fired = false;
+        std::weak_ptr<std::uint64_t> liveCounter;
+    };
+
+    explicit EventHandle(std::shared_ptr<State> state)
+        : state_(std::move(state))
+    {}
+
+    std::weak_ptr<State> state_;
+};
+
+/**
+ * A time-ordered queue of pending events.
+ *
+ * The queue owns no notion of "now"; the Simulator drives it and
+ * maintains current time. Same-time events pop in insertion order.
+ */
+class EventQueue
+{
+  public:
+    /**
+     * Schedule @p fn to fire at absolute time @p when.
+     *
+     * @param when Absolute simulated time, in picoseconds.
+     * @param fn The callback to execute.
+     * @return A handle that can cancel the event.
+     */
+    EventHandle schedule(SimTime when, EventFunction fn);
+
+    /** @return true if no live events remain. */
+    bool empty() const { return *live_ == 0; }
+
+    /** @return the number of live (non-cancelled) pending events. */
+    std::uint64_t size() const { return *live_; }
+
+    /** @return the time of the earliest live event, or kTimeForever. */
+    SimTime nextTime() const;
+
+    /**
+     * Pop and execute the earliest live event.
+     *
+     * @return the time of the executed event.
+     * @pre !empty()
+     */
+    SimTime executeNext();
+
+    /** Total number of events executed so far. */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        std::uint64_t seq;
+        EventFunction fn;
+        std::shared_ptr<EventHandle::State> state;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    /** Drop cancelled entries from the head of the heap. */
+    void skipCancelled() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>,
+                                std::greater<Entry>> heap_;
+    std::uint64_t nextSeq_ = 0;
+    std::shared_ptr<std::uint64_t> live_ =
+        std::make_shared<std::uint64_t>(0);
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace sim
+} // namespace mbus
+
+#endif // MBUS_SIM_EVENT_QUEUE_HH

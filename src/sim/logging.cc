@@ -1,0 +1,68 @@
+#include "sim/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace mbus {
+namespace sim {
+
+namespace {
+LogLevel gLogLevel = LogLevel::Normal;
+} // namespace
+
+LogLevel
+setLogLevel(LogLevel level)
+{
+    LogLevel prev = gLogLevel;
+    gLogLevel = level;
+    return prev;
+}
+
+LogLevel
+logLevel()
+{
+    return gLogLevel;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (gLogLevel != LogLevel::Quiet)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (gLogLevel != LogLevel::Quiet)
+        std::cout << "info: " << msg << std::endl;
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    std::cout << "debug: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace sim
+} // namespace mbus

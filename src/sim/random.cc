@@ -1,0 +1,69 @@
+#include "sim/random.hh"
+
+namespace mbus {
+namespace sim {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Random::Random(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Random::next()
+{
+    std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Random::below(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Rejection sampling to remove modulo bias.
+    std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Random::uniform()
+{
+    // 53 random bits into the mantissa.
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+} // namespace sim
+} // namespace mbus

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for tests and
+ * workload generators.
+ *
+ * xoshiro256** seeded via splitmix64: fast, high quality, and fully
+ * reproducible across platforms, which matters for property tests
+ * that must replay failures from a seed.
+ */
+
+#ifndef MBUS_SIM_RANDOM_HH
+#define MBUS_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace mbus {
+namespace sim {
+
+/** A small, deterministic xoshiro256** PRNG. */
+class Random
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Random(std::uint64_t seed = 0x6d627573ULL);
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return a uniform integer in [0, bound), bias-corrected. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double uniform();
+
+    /** @return true with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** @return a random byte. */
+    std::uint8_t byte() { return static_cast<std::uint8_t>(next() & 0xff); }
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace sim
+} // namespace mbus
+
+#endif // MBUS_SIM_RANDOM_HH

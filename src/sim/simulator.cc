@@ -1,0 +1,51 @@
+#include "sim/simulator.hh"
+
+namespace mbus {
+namespace sim {
+
+SimTime
+Simulator::run(SimTime limit)
+{
+    stopRequested_ = false;
+    while (!queue_.empty() && !stopRequested_) {
+        SimTime next = queue_.nextTime();
+        if (next > limit) {
+            now_ = limit;
+            return now_;
+        }
+        now_ = next;
+        queue_.executeNext();
+    }
+    // The queue drained before the limit: idle time still passes
+    // (leakage integration depends on this).
+    if (!stopRequested_ && limit != kTimeForever && now_ < limit)
+        now_ = limit;
+    return now_;
+}
+
+bool
+Simulator::runUntil(const std::function<bool()> &done, SimTime limit)
+{
+    stopRequested_ = false;
+    if (done())
+        return true;
+    while (!queue_.empty() && !stopRequested_) {
+        SimTime next = queue_.nextTime();
+        if (next > limit) {
+            now_ = limit;
+            return done();
+        }
+        now_ = next;
+        queue_.executeNext();
+        if (done())
+            return true;
+    }
+    // No events can change the predicate any more; idle out to the
+    // limit before the final check.
+    if (!stopRequested_ && limit != kTimeForever && now_ < limit)
+        now_ = limit;
+    return done();
+}
+
+} // namespace sim
+} // namespace mbus

@@ -1,0 +1,141 @@
+#include "sim/vcd.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace sim {
+
+TraceRecorder::SignalId
+TraceRecorder::addSignal(const std::string &name, bool initial)
+{
+    signals_.push_back(Signal{name, initial, {}});
+    return signals_.size() - 1;
+}
+
+void
+TraceRecorder::record(SignalId id, SimTime when, bool value)
+{
+    if (id >= signals_.size())
+        mbus_panic("record() on unregistered signal ", id);
+    auto &changes = signals_[id].changes;
+    if (!changes.empty() && changes.back().when > when)
+        mbus_panic("out-of-order trace record on ", signals_[id].name);
+    // Collapse same-time changes to the final value.
+    if (!changes.empty() && changes.back().when == when) {
+        changes.back().value = value;
+        return;
+    }
+    changes.push_back(Change{when, value});
+}
+
+std::size_t
+TraceRecorder::changeCount() const
+{
+    std::size_t n = 0;
+    for (const auto &s : signals_)
+        n += s.changes.size();
+    return n;
+}
+
+bool
+TraceRecorder::valueAt(SignalId id, SimTime when) const
+{
+    if (id >= signals_.size())
+        mbus_panic("valueAt() on unregistered signal ", id);
+    const auto &s = signals_[id];
+    bool v = s.initial;
+    for (const auto &c : s.changes) {
+        if (c.when > when)
+            break;
+        v = c.value;
+    }
+    return v;
+}
+
+namespace {
+
+/** VCD identifier characters start at '!' (33). */
+std::string
+vcdId(std::size_t index)
+{
+    std::string id;
+    do {
+        id.push_back(static_cast<char>('!' + index % 94));
+        index /= 94;
+    } while (index > 0);
+    return id;
+}
+
+} // namespace
+
+void
+TraceRecorder::writeVcd(std::ostream &os, SimTime timescalePs) const
+{
+    os << "$timescale " << timescalePs << " ps $end\n";
+    os << "$scope module mbus $end\n";
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+        os << "$var wire 1 " << vcdId(i) << " " << signals_[i].name
+           << " $end\n";
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+
+    os << "#0\n$dumpvars\n";
+    for (std::size_t i = 0; i < signals_.size(); ++i)
+        os << (signals_[i].initial ? '1' : '0') << vcdId(i) << "\n";
+    os << "$end\n";
+
+    // Merge-sort all changes by time.
+    struct Item
+    {
+        SimTime when;
+        std::size_t sig;
+        bool value;
+    };
+    std::vector<Item> items;
+    for (std::size_t i = 0; i < signals_.size(); ++i)
+        for (const auto &c : signals_[i].changes)
+            items.push_back(Item{c.when, i, c.value});
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Item &a, const Item &b) {
+                         return a.when < b.when;
+                     });
+
+    SimTime current = 0;
+    for (const auto &item : items) {
+        SimTime ticks = item.when / timescalePs;
+        if (ticks != current || &item == &items.front()) {
+            os << "#" << ticks << "\n";
+            current = ticks;
+        }
+        os << (item.value ? '1' : '0') << vcdId(item.sig) << "\n";
+    }
+}
+
+void
+TraceRecorder::renderAscii(std::ostream &os, SimTime start, SimTime end,
+                           SimTime cellTime) const
+{
+    if (cellTime == 0)
+        mbus_panic("renderAscii with zero cell time");
+
+    std::size_t name_width = 0;
+    for (const auto &s : signals_)
+        name_width = std::max(name_width, s.name.size());
+
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+        os << std::left << std::setw(static_cast<int>(name_width) + 2)
+           << signals_[i].name;
+        for (SimTime t = start; t < end; t += cellTime) {
+            // Sample mid-cell so edges on cell boundaries read cleanly.
+            bool v = valueAt(i, t + cellTime / 2);
+            os << (v ? '#' : '_');
+        }
+        os << "\n";
+    }
+}
+
+} // namespace sim
+} // namespace mbus

@@ -1,0 +1,34 @@
+#include "wire/gpio.hh"
+
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace wire {
+
+Gpio::Gpio(sim::Simulator &sim, Net &net, Direction dir)
+    : sim_(sim), net_(net), dir_(dir)
+{
+}
+
+void
+Gpio::write(bool v, sim::SimTime driveLatency)
+{
+    if (dir_ != Direction::Output)
+        mbus_panic("write() on input GPIO ", net_.name());
+    net_.driveDelayed(v, driveLatency);
+}
+
+void
+Gpio::attachInterrupt(Edge edge, sim::SimTime latency, Isr isr)
+{
+    if (dir_ != Direction::Input)
+        mbus_panic("attachInterrupt() on output GPIO ", net_.name());
+    net_.subscribe(edge, [this, latency, isr](bool level) {
+        if (!irqEnabled_)
+            return;
+        sim_.schedule(latency, [isr, level] { isr(level); });
+    });
+}
+
+} // namespace wire
+} // namespace mbus

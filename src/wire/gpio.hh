@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A general-purpose I/O pin abstraction over a Net.
+ *
+ * Used by the bitbang engine (Section 6.6): a software MBus node sees
+ * four GPIOs (CLK_IN, CLK_OUT, DATA_IN, DATA_OUT); the two inputs
+ * support edge-triggered interrupts with a configurable latency that
+ * models interrupt entry on the host microcontroller.
+ */
+
+#ifndef MBUS_WIRE_GPIO_HH
+#define MBUS_WIRE_GPIO_HH
+
+#include <functional>
+
+#include "sim/simulator.hh"
+#include "wire/net.hh"
+
+namespace mbus {
+namespace wire {
+
+/**
+ * One GPIO pin bound to a Net.
+ *
+ * Direction is fixed at construction: an input pin samples and raises
+ * interrupts; an output pin drives.
+ */
+class Gpio
+{
+  public:
+    enum class Direction { Input, Output };
+
+    /** Interrupt service routine type. */
+    using Isr = std::function<void(bool level)>;
+
+    Gpio(sim::Simulator &sim, Net &net, Direction dir);
+
+    /** Sample the pin (inputs and outputs both read the net). */
+    bool read() const { return net_.value(); }
+
+    /**
+     * Drive the pin after @p driveLatency (models the instruction
+     * sequence between deciding to write and the pad toggling).
+     *
+     * @pre direction is Output.
+     */
+    void write(bool v, sim::SimTime driveLatency = 0);
+
+    /**
+     * Attach an edge-triggered interrupt.
+     *
+     * @param edge Edge selection.
+     * @param latency Delay between the physical edge and ISR entry.
+     * @param isr Handler, called with the pin level at the edge.
+     * @pre direction is Input.
+     */
+    void attachInterrupt(Edge edge, sim::SimTime latency, Isr isr);
+
+    /** Mask / unmask the attached interrupt. */
+    void setInterruptEnabled(bool enabled) { irqEnabled_ = enabled; }
+
+  private:
+    sim::Simulator &sim_;
+    Net &net_;
+    Direction dir_;
+    bool irqEnabled_ = true;
+};
+
+} // namespace wire
+} // namespace mbus
+
+#endif // MBUS_WIRE_GPIO_HH

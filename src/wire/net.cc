@@ -1,0 +1,110 @@
+#include "wire/net.hh"
+
+#include <utility>
+
+namespace mbus {
+namespace wire {
+
+Net::Net(sim::Simulator &sim, std::string name, sim::SimTime delay,
+         bool initial)
+    : sim_(sim), name_(std::move(name)), delay_(delay), value_(initial),
+      driven_(initial)
+{
+}
+
+void
+Net::drive(bool v)
+{
+    driveDelayed(v, 0);
+}
+
+void
+Net::driveDelayed(bool v, sim::SimTime extra)
+{
+    if (driven_ == v)
+        return;
+    driven_ = v;
+    sim_.schedule(delay_ + extra, [this, v] { applyVisible(v); });
+}
+
+void
+Net::applyVisible(bool v)
+{
+    if (value_ == v)
+        return;
+    value_ = v;
+    if (forced_)
+        return; // Changes hidden behind a force; counters idle too.
+
+    if (v)
+        ++risingEdges_;
+    else
+        ++fallingEdges_;
+
+    if (recorder_)
+        recorder_->record(traceId_, sim_.now(), v);
+
+    for (const auto &sub : subs_) {
+        bool deliver = sub.edge == Edge::Any ||
+                       (sub.edge == Edge::Rising && v) ||
+                       (sub.edge == Edge::Falling && !v);
+        if (deliver)
+            sub.fn(v);
+    }
+}
+
+void
+Net::subscribe(Edge edge, Listener fn)
+{
+    subs_.push_back(Subscription{edge, std::move(fn)});
+}
+
+void
+Net::force(bool v)
+{
+    bool previous = value();
+    forced_ = true;
+    forcedValue_ = v;
+    if (previous != v) {
+        if (recorder_)
+            recorder_->record(traceId_, sim_.now(), v);
+        for (const auto &sub : subs_) {
+            bool deliver = sub.edge == Edge::Any ||
+                           (sub.edge == Edge::Rising && v) ||
+                           (sub.edge == Edge::Falling && !v);
+            if (deliver)
+                sub.fn(v);
+        }
+    }
+}
+
+void
+Net::release()
+{
+    if (!forced_)
+        return;
+    bool previous = forcedValue_;
+    forced_ = false;
+    if (previous != value_) {
+        bool v = value_;
+        if (recorder_)
+            recorder_->record(traceId_, sim_.now(), v);
+        for (const auto &sub : subs_) {
+            bool deliver = sub.edge == Edge::Any ||
+                           (sub.edge == Edge::Rising && v) ||
+                           (sub.edge == Edge::Falling && !v);
+            if (deliver)
+                sub.fn(v);
+        }
+    }
+}
+
+void
+Net::trace(sim::TraceRecorder &recorder)
+{
+    recorder_ = &recorder;
+    traceId_ = recorder.addSignal(name_, value());
+}
+
+} // namespace wire
+} // namespace mbus

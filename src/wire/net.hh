@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The digital net model underlying the MBus rings.
+ *
+ * A Net is a single-driver point-to-point wire segment (the MBus ring
+ * is a chain of such segments: one chip's OUT pad, the bond wire or
+ * TSV, and the next chip's IN pad). Nets have:
+ *
+ *  - transport-delay semantics: a drive becomes visible to listeners
+ *    after the configured propagation delay, and successive edges are
+ *    all delivered (no inertial cancellation), which is what lets the
+ *    simulator reproduce the momentary drive-to-forward glitches the
+ *    paper notes in Figure 5;
+ *  - edge listeners (rise / fall / any) used by the controllers;
+ *  - transition counters feeding the CV^2 switching-energy model;
+ *  - fault injection (stuck-at forcing) for the fault-tolerance
+ *    property tests.
+ */
+
+#ifndef MBUS_WIRE_NET_HH
+#define MBUS_WIRE_NET_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/types.hh"
+#include "sim/vcd.hh"
+
+namespace mbus {
+namespace wire {
+
+/** Edge polarity selector for listeners. */
+enum class Edge {
+    Rising,
+    Falling,
+    Any,
+};
+
+/**
+ * A one-driver digital wire segment with transport delay.
+ */
+class Net
+{
+  public:
+    /** Callback invoked when the visible value changes. */
+    using Listener = std::function<void(bool value)>;
+
+    /**
+     * @param sim Owning simulator.
+     * @param name Diagnostic name ("seg2.DATA").
+     * @param delay Propagation delay from drive to visibility.
+     * @param initial Initial visible value.
+     */
+    Net(sim::Simulator &sim, std::string name, sim::SimTime delay,
+        bool initial = true);
+
+    /** @return the currently visible value. */
+    bool value() const { return forced_ ? forcedValue_ : value_; }
+
+    /** @return the most recently driven (pre-delay) value. */
+    bool drivenValue() const { return driven_; }
+
+    /** @return the configured propagation delay. */
+    sim::SimTime delay() const { return delay_; }
+
+    /** @return the diagnostic name. */
+    const std::string &name() const { return name_; }
+
+    /**
+     * Drive a new value; listeners see it after the net's delay.
+     *
+     * Driving the already-driven value is a no-op, so forwarding
+     * logic may drive unconditionally.
+     */
+    void drive(bool v);
+
+    /**
+     * Drive with an extra one-off delay on top of the net delay
+     * (models slow drivers such as the bitbanged GPIO engine).
+     */
+    void driveDelayed(bool v, sim::SimTime extra);
+
+    /**
+     * Subscribe to visible-value changes.
+     *
+     * @param edge Which edges to deliver.
+     * @param fn Callback, invoked with the new value.
+     */
+    void subscribe(Edge edge, Listener fn);
+
+    /**
+     * Fault injection: force the visible value regardless of drives.
+     * Listeners observe the forced value changes immediately.
+     */
+    void force(bool v);
+
+    /** Remove a force; the net snaps back to the driven pipeline. */
+    void release();
+
+    /** @return true while a force is active. */
+    bool forced() const { return forced_; }
+
+    /** Rising-edge count since construction (for energy/goodput). */
+    std::uint64_t risingEdges() const { return risingEdges_; }
+
+    /** Falling-edge count since construction. */
+    std::uint64_t fallingEdges() const { return fallingEdges_; }
+
+    /** Total transitions. */
+    std::uint64_t
+    transitions() const
+    {
+        return risingEdges_ + fallingEdges_;
+    }
+
+    /** Attach a trace recorder; every visible change is recorded. */
+    void trace(sim::TraceRecorder &recorder);
+
+  private:
+    /** Deliver a value to the visible side and fan out. */
+    void applyVisible(bool v);
+
+    sim::Simulator &sim_;
+    std::string name_;
+    sim::SimTime delay_;
+
+    bool value_;   ///< Visible (post-delay) value.
+    bool driven_;  ///< Latest driven (pre-delay) value.
+
+    bool forced_ = false;
+    bool forcedValue_ = false;
+
+    std::uint64_t risingEdges_ = 0;
+    std::uint64_t fallingEdges_ = 0;
+
+    struct Subscription
+    {
+        Edge edge;
+        Listener fn;
+    };
+    std::vector<Subscription> subs_;
+
+    sim::TraceRecorder *recorder_ = nullptr;
+    sim::TraceRecorder::SignalId traceId_ = 0;
+};
+
+} // namespace wire
+} // namespace mbus
+
+#endif // MBUS_WIRE_NET_HH

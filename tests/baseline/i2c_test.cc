@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests reproducing the paper's I2C arithmetic (Secs 2.1, 6.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/i2c.hh"
+#include "baseline/lee_i2c.hh"
+#include "baseline/spi.hh"
+#include "baseline/uart.hh"
+#include "power/constants.hh"
+
+using namespace mbus;
+using namespace mbus::baseline;
+
+namespace {
+// The Sec 2.1 relaxed micro-scale configuration.
+I2cModel
+relaxedI2c()
+{
+    return I2cModel(50e-12, 1.2, I2cSizing::Oracle);
+}
+} // namespace
+
+TEST(I2c, PullUpSizedTo15p5kOhm)
+{
+    // "This relaxed I2C bus requires a pull-up resistor no greater
+    // than 15.5 kOhm."
+    EXPECT_NEAR(relaxedI2c().pullUpOhms(400e3), 15.5e3, 0.3e3);
+}
+
+TEST(I2c, ChargeDumpIs23pJ)
+{
+    // "dumping the charge in the bus wires, pads, and FET gates
+    // (23 pJ)".
+    EXPECT_NEAR(relaxedI2c().dumpEnergyJ(), 23e-12, 0.5e-12);
+}
+
+TEST(I2c, ResistorChargeLossIs35pJ)
+{
+    // "the resistor pulls it high (35 pJ)".
+    EXPECT_NEAR(relaxedI2c().chargeLossJ(), 35e-12, 0.6e-12);
+}
+
+TEST(I2c, LowPhaseLossIs116pJ)
+{
+    // "dissipating power in the resistor (116 pJ)".
+    EXPECT_NEAR(relaxedI2c().lowPhaseLossJ(400e3), 116e-12, 1e-12);
+}
+
+TEST(I2c, ClockAloneDraws69p6uW)
+{
+    // "Thus, generating the clock alone draws 69.6 uW."
+    EXPECT_NEAR(relaxedI2c().clockPowerW(400e3), 69.6e-6, 0.5e-6);
+}
+
+TEST(I2c, OracleBeatsStandardSizing)
+{
+    I2cModel oracle(50e-12, 1.2, I2cSizing::Oracle);
+    I2cModel standard(50e-12, 1.2, I2cSizing::Standard);
+    for (double f : {100e3, 400e3, 1e6}) {
+        EXPECT_LT(oracle.totalPowerW(f), standard.totalPowerW(f))
+            << "at " << f << " Hz";
+    }
+}
+
+TEST(I2c, NodeCountScalesCapacitance)
+{
+    I2cModel two = I2cModel::forNodeCount(2, I2cSizing::Oracle);
+    I2cModel fourteen = I2cModel::forNodeCount(14, I2cSizing::Oracle);
+    EXPECT_NEAR(fourteen.busCapF() / two.busCapF(), 7.0, 1e-9);
+    EXPECT_LT(two.totalPowerW(400e3), fourteen.totalPowerW(400e3));
+}
+
+TEST(I2c, OverheadIsTenPlusN)
+{
+    EXPECT_EQ(I2cModel::overheadBits(0), 10u);
+    EXPECT_EQ(I2cModel::overheadBits(8), 18u);
+    EXPECT_EQ(I2cModel::totalBits(8), 64u + 18u);
+}
+
+TEST(LeeI2c, FourTimesMBusEnergy)
+{
+    // Sec 2.2: 88 pJ/bit, "4 times that of MBus" (22.6 measured).
+    EXPECT_NEAR(LeeI2cModel::energyPerBitJ() / power::kMeasuredAvgJ,
+                3.9, 0.2);
+}
+
+TEST(LeeI2c, RequiresFiveTimesInternalClock)
+{
+    EXPECT_DOUBLE_EQ(LeeI2cModel::internalClockHz(400e3), 2e6);
+}
+
+TEST(Spi, PadCountGrowsWithPopulation)
+{
+    EXPECT_EQ(SpiModel::padCount(1), 4);
+    EXPECT_EQ(SpiModel::padCount(13), 16);
+}
+
+TEST(Spi, SlaveToSlaveMoreThanDoubles)
+{
+    double direct = SpiModel::messageEnergyJ(8);
+    double relayed = SpiModel::slaveToSlaveEnergyJ(8);
+    EXPECT_GT(relayed, 2.0 * direct);
+}
+
+TEST(Spi, DaisyChainOverheadScalesWithDevicesAndBuffers)
+{
+    // Sec 2.3: "adds overhead proportional to both the number of
+    // devices and the size of the buffer in each device."
+    std::size_t small = SpiModel::daisyChainTotalBits(8, 4, 32);
+    std::size_t more_devices = SpiModel::daisyChainTotalBits(8, 8, 32);
+    std::size_t bigger_buffers =
+        SpiModel::daisyChainTotalBits(8, 4, 64);
+    EXPECT_EQ(more_devices - small, 4u * 32u);
+    EXPECT_EQ(bigger_buffers - small, 4u * 32u);
+}
+
+TEST(Uart, OverheadPerByte)
+{
+    EXPECT_EQ(UartModel(1).overheadBits(10), 20u);
+    EXPECT_EQ(UartModel(2).overheadBits(10), 30u);
+    EXPECT_EQ(UartModel(1).totalBits(1), 10u);
+}

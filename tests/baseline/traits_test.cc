@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Table 1 feature-matrix tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/bus_traits.hh"
+
+using namespace mbus::baseline;
+
+TEST(Table1, OnlyMBusMeetsAllRequirements)
+{
+    // The punchline of Table 1.
+    int satisfying = 0;
+    std::string who;
+    for (const auto &b : table1Buses()) {
+        if (b.meetsAllRequirements()) {
+            ++satisfying;
+            who = b.name;
+        }
+    }
+    EXPECT_EQ(satisfying, 1);
+    EXPECT_EQ(who, "MBus");
+}
+
+TEST(Table1, MBusHasFixedFourPads)
+{
+    for (const auto &b : table1Buses()) {
+        if (b.name != "MBus")
+            continue;
+        for (int nodes = 2; nodes <= 14; ++nodes)
+            EXPECT_EQ(b.padsFor(nodes), 4);
+    }
+}
+
+TEST(Table1, SpiAndUartPadsGrowWithPopulation)
+{
+    for (const auto &b : table1Buses()) {
+        if (b.name == "SPI") {
+            EXPECT_EQ(b.padsFor(4), 7);
+            EXPECT_EQ(b.padsFor(10), 13);
+        }
+        if (b.name == "UART") {
+            EXPECT_EQ(b.padsFor(4), 8);
+        }
+    }
+}
+
+TEST(Table1, AddressSpaces)
+{
+    for (const auto &b : table1Buses()) {
+        if (b.name == "I2C" || b.name == "Lee-I2C") {
+            EXPECT_EQ(b.globalUniqueAddresses, 128);
+        }
+        if (b.name == "MBus") {
+            EXPECT_EQ(b.globalUniqueAddresses, 1 << 24);
+        }
+        if (b.name == "SPI" || b.name == "UART") {
+            EXPECT_EQ(b.globalUniqueAddresses, 0);
+        }
+    }
+}
+
+TEST(Table1, OverheadExpressions)
+{
+    for (const auto &b : table1Buses()) {
+        if (b.name == "MBus") {
+            EXPECT_EQ(b.overheadBitsFor(100), 19u);
+        }
+        if (b.name == "I2C") {
+            EXPECT_EQ(b.overheadBitsFor(100), 110u);
+        }
+        if (b.name == "SPI") {
+            EXPECT_EQ(b.overheadBitsFor(100), 2u);
+        }
+    }
+}
+
+TEST(Table1, OnlyLeeVariantIsNotSynthesizable)
+{
+    for (const auto &b : table1Buses())
+        EXPECT_EQ(b.synthesizable, b.name != "Lee-I2C") << b.name;
+}
+
+TEST(Table1, OnlyMBusIsPowerAware)
+{
+    for (const auto &b : table1Buses())
+        EXPECT_EQ(b.powerAware, b.name == "MBus") << b.name;
+}

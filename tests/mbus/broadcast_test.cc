@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Broadcast message tests (Sec 4.6): prefix 0, channel filtering via
+ * the FU-ID field, and hardware broadcast reaching all listeners in
+ * one transaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mbus/system.hh"
+#include "tests/mbus/testutil.hh"
+
+using namespace mbus;
+using namespace mbus::test;
+
+namespace {
+
+constexpr std::uint8_t kAppChannel = bus::kChannelUserBase;
+
+struct Fixture
+{
+    sim::Simulator simulator;
+    bus::MBusSystem system{simulator};
+};
+
+bus::NodeConfig
+listenerCfg(const std::string &name, std::uint32_t full,
+            std::uint8_t prefix, bool subscribed)
+{
+    bus::NodeConfig cfg = nodeCfg(name, full, prefix);
+    if (subscribed)
+        cfg.broadcastChannels |= (1u << kAppChannel);
+    return cfg;
+}
+
+} // namespace
+
+TEST(Broadcast, ReachesAllSubscribersInOneTransaction)
+{
+    Fixture f;
+    f.system.addNode(listenerCfg("proc", 0x111, 1, true));
+    f.system.addNode(listenerCfg("a", 0x222, 2, true));
+    f.system.addNode(listenerCfg("b", 0x333, 3, true));
+    f.system.addNode(listenerCfg("c", 0x444, 4, true));
+    f.system.finalize();
+
+    int deliveries = 0;
+    for (std::size_t i = 1; i < 4; ++i) {
+        f.system.node(i).layer().setBroadcastHandler(
+            [&deliveries](std::uint8_t channel,
+                          const bus::ReceivedMessage &) {
+                EXPECT_EQ(channel, kAppChannel);
+                ++deliveries;
+            });
+    }
+
+    bus::Message msg;
+    msg.dest = bus::Address::broadcast(kAppChannel);
+    msg.payload = {0xB0, 0x0B};
+    auto result = f.system.sendAndWait(0, msg, 50 * sim::kMillisecond);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->status, bus::TxStatus::Broadcast);
+    f.system.runUntilIdle(50 * sim::kMillisecond);
+
+    EXPECT_EQ(deliveries, 3);
+    // One transaction total -- hardware broadcast, not unicast loops.
+    EXPECT_EQ(f.system.mediator().stats().transactions, 1u);
+}
+
+TEST(Broadcast, ChannelMaskFiltersListeners)
+{
+    Fixture f;
+    f.system.addNode(listenerCfg("proc", 0x111, 1, true));
+    f.system.addNode(listenerCfg("tuned", 0x222, 2, true));
+    f.system.addNode(listenerCfg("deaf", 0x333, 3, false));
+    f.system.finalize();
+
+    int tuned = 0, deaf = 0;
+    f.system.node(1).layer().setBroadcastHandler(
+        [&](std::uint8_t, const bus::ReceivedMessage &) { ++tuned; });
+    f.system.node(2).layer().setBroadcastHandler(
+        [&](std::uint8_t, const bus::ReceivedMessage &) { ++deaf; });
+
+    bus::Message msg;
+    msg.dest = bus::Address::broadcast(kAppChannel);
+    msg.payload = {0x42};
+    f.system.sendAndWait(0, msg, 50 * sim::kMillisecond);
+    f.system.runUntilIdle(50 * sim::kMillisecond);
+
+    EXPECT_EQ(tuned, 1);
+    EXPECT_EQ(deaf, 0);
+}
+
+TEST(Broadcast, BroadcastsAreNotAcked)
+{
+    // Broadcasts complete with the dedicated Broadcast status; the
+    // control ACK slot stays untouched (no receiver drives it).
+    Fixture f;
+    buildRing(f.system, 3);
+    bus::Message msg;
+    msg.dest = bus::Address::broadcast(kAppChannel);
+    msg.payload = {1};
+    auto result = f.system.sendAndWait(1, msg, 50 * sim::kMillisecond);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->status, bus::TxStatus::Broadcast);
+}
+
+TEST(Broadcast, GatedSubscriberWakesForBroadcast)
+{
+    Fixture f;
+    f.system.addNode(listenerCfg("proc", 0x111, 1, true));
+    bus::NodeConfig gated = listenerCfg("gated", 0x222, 2, true);
+    gated.powerGated = true;
+    f.system.addNode(gated);
+    f.system.finalize();
+
+    int rx = 0;
+    f.system.node(1).layer().setBroadcastHandler(
+        [&](std::uint8_t, const bus::ReceivedMessage &) { ++rx; });
+
+    bus::Message msg;
+    msg.dest = bus::Address::broadcast(kAppChannel);
+    msg.payload = {9};
+    f.system.sendAndWait(0, msg, 50 * sim::kMillisecond);
+    f.system.runUntilIdle(50 * sim::kMillisecond);
+    EXPECT_EQ(rx, 1);
+    EXPECT_EQ(f.system.node(1).layerDomain().wakeupCount(), 1u);
+}

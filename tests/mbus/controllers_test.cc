@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the small always-on controllers in isolation:
+ * WireController, SleepController, InterruptController.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mbus/interrupt_controller.hh"
+#include "mbus/sleep_controller.hh"
+#include "mbus/wire_controller.hh"
+#include "power/domain.hh"
+#include "sim/simulator.hh"
+#include "wire/net.hh"
+
+using namespace mbus;
+using namespace mbus::bus;
+
+namespace {
+
+struct WirePair
+{
+    sim::Simulator simulator;
+    wire::Net in{simulator, "in", 10 * sim::kNanosecond, true};
+    wire::Net out{simulator, "out", 10 * sim::kNanosecond, true};
+};
+
+} // namespace
+
+TEST(WireControllerUnit, ForwardsInputChanges)
+{
+    WirePair w;
+    WireController wc(w.in, w.out);
+    EXPECT_TRUE(wc.forwarding());
+
+    w.in.drive(false);
+    w.simulator.run();
+    EXPECT_FALSE(w.out.value());
+    w.in.drive(true);
+    w.simulator.run();
+    EXPECT_TRUE(w.out.value());
+}
+
+TEST(WireControllerUnit, DriveBreaksTheChain)
+{
+    WirePair w;
+    WireController wc(w.in, w.out);
+    wc.drive(false);
+    w.simulator.run();
+    EXPECT_FALSE(w.out.value());
+
+    // Input changes are ignored while driving.
+    w.in.drive(false);
+    w.simulator.run();
+    w.in.drive(true);
+    w.simulator.run();
+    EXPECT_FALSE(w.out.value());
+    EXPECT_EQ(wc.mode(), WireController::Mode::Drive);
+}
+
+TEST(WireControllerUnit, HandoffGlitchOnForwardResume)
+{
+    // Drive low while the input is high: returning to forwarding
+    // snaps the output high -- the Fig 5 drive-to-forward glitch.
+    WirePair w;
+    WireController wc(w.in, w.out);
+    wc.drive(false);
+    w.simulator.run();
+    std::uint64_t edges_before = w.out.transitions();
+    wc.forward();
+    w.simulator.run();
+    EXPECT_TRUE(w.out.value());
+    EXPECT_EQ(w.out.transitions(), edges_before + 1);
+}
+
+TEST(SleepControllerUnit, CountsEdgesAndWakesDomain)
+{
+    sim::Simulator simulator;
+    wire::Net clk(simulator, "clk", 0, true);
+    power::PowerDomain domain(simulator, "bus");
+    SleepController sleep(clk, domain);
+
+    EXPECT_FALSE(sleep.transactionActive());
+    for (int i = 0; i < 4; ++i) {
+        clk.drive(i % 2 == 0 ? false : true);
+        simulator.run();
+    }
+    EXPECT_TRUE(sleep.transactionActive());
+    EXPECT_EQ(sleep.fallingCount(), 2u);
+    EXPECT_EQ(sleep.risingCount(), 2u);
+    // Four edges completed the wakeup ladder.
+    EXPECT_TRUE(domain.active());
+    EXPECT_EQ(sleep.transactionsSeen(), 1u);
+
+    sleep.noteIdle();
+    EXPECT_FALSE(sleep.transactionActive());
+    EXPECT_EQ(sleep.risingCount(), 0u);
+}
+
+TEST(SleepControllerUnit, HookRunsAfterCounting)
+{
+    sim::Simulator simulator;
+    wire::Net clk(simulator, "clk", 0, true);
+    power::PowerDomain domain(simulator, "bus", true);
+    SleepController sleep(clk, domain);
+
+    std::vector<std::uint32_t> seen;
+    sleep.setEdgeHook([&](bool rising) {
+        if (rising)
+            seen.push_back(sleep.risingCount());
+    });
+    for (int i = 0; i < 6; ++i) {
+        clk.drive(i % 2 == 1);
+        simulator.run();
+    }
+    // The hook observes already-updated counts: 1, 2, 3.
+    EXPECT_EQ(seen, (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(InterruptControllerUnit, PulsesDataAndReleasesOnClk)
+{
+    sim::Simulator simulator;
+    wire::Net clk(simulator, "clk", 0, true);
+    wire::Net data_in(simulator, "din", 0, true);
+    wire::Net data_out(simulator, "dout", 0, true);
+    WireController data_ctl(data_in, data_out);
+    InterruptController irq(clk, data_ctl);
+
+    irq.assertInterrupt();
+    simulator.run();
+    EXPECT_TRUE(irq.pending());
+    EXPECT_FALSE(data_out.value()); // The request pulse.
+
+    // First falling CLK edge: resume forwarding (before the
+    // arbitration sample, Fig 6).
+    clk.drive(false);
+    simulator.run();
+    EXPECT_TRUE(data_ctl.forwarding());
+    EXPECT_TRUE(data_out.value()); // Input is high.
+
+    irq.clearInterrupt();
+    EXPECT_FALSE(irq.pending());
+}
+
+TEST(InterruptControllerUnit, DefersWhileBusBusy)
+{
+    sim::Simulator simulator;
+    wire::Net clk(simulator, "clk", 0, true);
+    wire::Net data_in(simulator, "din", 0, true);
+    wire::Net data_out(simulator, "dout", 0, true);
+    WireController data_ctl(data_in, data_out);
+    InterruptController irq(clk, data_ctl);
+
+    irq.noteBusBusy();
+    irq.assertInterrupt();
+    simulator.run();
+    EXPECT_TRUE(data_out.value()); // No pulse yet.
+    EXPECT_TRUE(irq.pending());
+
+    irq.noteBusIdle(); // Deferred pulse fires now.
+    simulator.run();
+    EXPECT_FALSE(data_out.value());
+}
+
+TEST(InterruptControllerUnit, CountsAssertions)
+{
+    sim::Simulator simulator;
+    wire::Net clk(simulator, "clk", 0, true);
+    wire::Net data_in(simulator, "din", 0, true);
+    wire::Net data_out(simulator, "dout", 0, true);
+    WireController data_ctl(data_in, data_out);
+    InterruptController irq(clk, data_ctl);
+
+    irq.assertInterrupt();
+    clk.drive(false);
+    simulator.run();
+    irq.clearInterrupt();
+    irq.noteBusIdle();
+    irq.assertInterrupt();
+    EXPECT_EQ(irq.assertedCount(), 2u);
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Run-time enumeration tests (Sec 4.7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mbus/system.hh"
+#include "tests/mbus/testutil.hh"
+
+using namespace mbus;
+using namespace mbus::test;
+
+namespace {
+
+struct Fixture
+{
+    sim::Simulator simulator;
+    bus::MBusSystem system{simulator};
+};
+
+} // namespace
+
+TEST(Enumeration, AssignsPrefixesToAllUnassignedNodes)
+{
+    Fixture f;
+    f.system.addNode(nodeCfg("proc", 0x111, 1));
+    f.system.addNode(nodeCfg("a", 0x222, 0)); // Unassigned.
+    f.system.addNode(nodeCfg("b", 0x333, 0)); // Unassigned.
+    f.system.addNode(nodeCfg("c", 0x444, 0)); // Unassigned.
+    f.system.finalize();
+
+    int assigned = f.system.enumerateAll(0);
+    EXPECT_EQ(assigned, 3);
+    for (std::size_t i = 1; i < 4; ++i)
+        EXPECT_TRUE(f.system.node(i).busController().hasShortPrefix());
+}
+
+TEST(Enumeration, ShortPrefixEncodesTopologicalPriority)
+{
+    // Sec 4.7: "a node's short prefix encodes its topological
+    // priority" -- the node nearest the mediator wins each round.
+    Fixture f;
+    f.system.addNode(nodeCfg("proc", 0x111, 1));
+    f.system.addNode(nodeCfg("a", 0x222, 0));
+    f.system.addNode(nodeCfg("b", 0x333, 0));
+    f.system.addNode(nodeCfg("c", 0x444, 0));
+    f.system.finalize();
+
+    f.system.enumerateAll(0);
+    // Prefix 1 is taken (static); rounds assign 2, 3, 4 in ring
+    // order.
+    EXPECT_EQ(f.system.node(1).shortPrefix(), 2);
+    EXPECT_EQ(f.system.node(2).shortPrefix(), 3);
+    EXPECT_EQ(f.system.node(3).shortPrefix(), 4);
+}
+
+TEST(Enumeration, EnumeratedNodesAreAddressable)
+{
+    Fixture f;
+    f.system.addNode(nodeCfg("proc", 0x111, 1));
+    f.system.addNode(nodeCfg("dup0", 0xAAAAA, 0));
+    f.system.addNode(nodeCfg("dup1", 0xAAAAA, 0)); // Same chip design!
+    f.system.finalize();
+
+    // Two copies of the same chip (same full prefix) is exactly the
+    // case that REQUIRES enumeration (Sec 4.7).
+    EXPECT_EQ(f.system.enumerateAll(0), 2);
+
+    int rx0 = 0, rx1 = 0;
+    f.system.node(1).layer().setMailboxHandler(
+        [&](const bus::ReceivedMessage &) { ++rx0; });
+    f.system.node(2).layer().setMailboxHandler(
+        [&](const bus::ReceivedMessage &) { ++rx1; });
+
+    bus::Message msg;
+    msg.dest = bus::Address::shortAddr(f.system.node(2).shortPrefix(),
+                                       bus::kFuMailbox);
+    msg.payload = {0x11};
+    auto result = f.system.sendAndWait(0, msg, 50 * sim::kMillisecond);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->status, bus::TxStatus::Ack);
+    f.system.runUntilIdle(50 * sim::kMillisecond);
+    EXPECT_EQ(rx0, 0);
+    EXPECT_EQ(rx1, 1);
+}
+
+TEST(Enumeration, SecondEnumerationFindsNothing)
+{
+    Fixture f;
+    f.system.addNode(nodeCfg("proc", 0x111, 1));
+    f.system.addNode(nodeCfg("a", 0x222, 0));
+    f.system.finalize();
+
+    EXPECT_EQ(f.system.enumerateAll(0), 1);
+    EXPECT_EQ(f.system.enumerateAll(0), 0);
+}
+
+TEST(Enumeration, StaticPrefixesAreSkipped)
+{
+    Fixture f;
+    f.system.addNode(nodeCfg("proc", 0x111, 1));
+    f.system.addNode(nodeCfg("static3", 0x222, 3));
+    f.system.addNode(nodeCfg("dynamic", 0x333, 0));
+    f.system.finalize();
+
+    EXPECT_EQ(f.system.enumerateAll(0), 1);
+    // The dynamic node got a prefix that collides with nobody.
+    std::uint8_t p = f.system.node(2).shortPrefix();
+    EXPECT_NE(p, 0);
+    EXPECT_NE(p, 1);
+    EXPECT_NE(p, 3);
+}
+
+TEST(Enumeration, MixedStaticAndEnumeratedAddressing)
+{
+    Fixture f;
+    f.system.addNode(nodeCfg("proc", 0x111, 1));
+    f.system.addNode(nodeCfg("s", 0x222, 5));
+    f.system.addNode(nodeCfg("d", 0x333, 0));
+    f.system.finalize();
+    f.system.enumerateAll(0);
+
+    int rx = 0;
+    f.system.node(1).layer().setMailboxHandler(
+        [&](const bus::ReceivedMessage &) { ++rx; });
+    bus::Message msg;
+    msg.dest = bus::Address::shortAddr(5, bus::kFuMailbox);
+    msg.payload = {1};
+    f.system.sendAndWait(0, msg, 50 * sim::kMillisecond);
+    f.system.runUntilIdle(50 * sim::kMillisecond);
+    EXPECT_EQ(rx, 1);
+}

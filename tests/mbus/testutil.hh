@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for MBus protocol tests.
+ */
+
+#ifndef MBUS_TESTS_TESTUTIL_HH
+#define MBUS_TESTS_TESTUTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mbus/system.hh"
+#include "sim/random.hh"
+
+namespace mbus {
+namespace test {
+
+inline bus::NodeConfig
+nodeCfg(const std::string &name, std::uint32_t fullPrefix,
+        std::uint8_t shortPrefix, bool gated = false)
+{
+    bus::NodeConfig cfg;
+    cfg.name = name;
+    cfg.fullPrefix = fullPrefix;
+    if (shortPrefix != 0)
+        cfg.staticShortPrefix = shortPrefix;
+    cfg.powerGated = gated;
+    return cfg;
+}
+
+/** Build an N-node system with static prefixes 1..N (N <= 14). */
+inline void
+buildRing(bus::MBusSystem &system, int nodes, bool gated = false)
+{
+    for (int i = 0; i < nodes; ++i) {
+        system.addNode(nodeCfg("n" + std::to_string(i),
+                               0x10000u + static_cast<std::uint32_t>(i),
+                               static_cast<std::uint8_t>(i + 1), gated));
+    }
+    system.finalize();
+}
+
+inline std::vector<std::uint8_t>
+randomPayload(sim::Random &rng, std::size_t size)
+{
+    std::vector<std::uint8_t> bytes(size);
+    for (auto &b : bytes)
+        b = rng.byte();
+    return bytes;
+}
+
+} // namespace test
+} // namespace mbus
+
+#endif // MBUS_TESTS_TESTUTIL_HH

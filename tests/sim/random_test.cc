@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+
+using namespace mbus::sim;
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(1234), b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Random r(99);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Random, BetweenInclusive)
+{
+    Random r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.between(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Random r(42);
+    double sum = 0;
+    const int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Random, ChanceRoughlyCalibrated)
+{
+    Random r(5);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the trace recorder: VCD output and ASCII rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/vcd.hh"
+
+using namespace mbus::sim;
+
+TEST(TraceRecorder, ValueAtFollowsChanges)
+{
+    TraceRecorder rec;
+    auto clk = rec.addSignal("clk", true);
+    rec.record(clk, 100, false);
+    rec.record(clk, 200, true);
+
+    EXPECT_TRUE(rec.valueAt(clk, 0));
+    EXPECT_TRUE(rec.valueAt(clk, 99));
+    EXPECT_FALSE(rec.valueAt(clk, 100));
+    EXPECT_FALSE(rec.valueAt(clk, 199));
+    EXPECT_TRUE(rec.valueAt(clk, 200));
+}
+
+TEST(TraceRecorder, SameTimeChangesCollapse)
+{
+    TraceRecorder rec;
+    auto sig = rec.addSignal("s", false);
+    rec.record(sig, 50, true);
+    rec.record(sig, 50, false);
+    EXPECT_FALSE(rec.valueAt(sig, 50));
+    EXPECT_EQ(rec.changeCount(), 1u);
+}
+
+TEST(TraceRecorder, VcdHasHeaderAndChanges)
+{
+    TraceRecorder rec;
+    auto a = rec.addSignal("clk", true);
+    auto b = rec.addSignal("data", false);
+    rec.record(a, 1000, false);
+    rec.record(b, 2000, true);
+
+    std::ostringstream os;
+    rec.writeVcd(os, 1000);
+    std::string vcd = os.str();
+    EXPECT_NE(vcd.find("$timescale 1000 ps $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$var wire 1 ! clk $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$var wire 1 \" data $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$dumpvars"), std::string::npos);
+    EXPECT_NE(vcd.find("#1\n0!"), std::string::npos);
+    EXPECT_NE(vcd.find("#2\n1\""), std::string::npos);
+}
+
+TEST(TraceRecorder, AsciiRendering)
+{
+    TraceRecorder rec;
+    auto s = rec.addSignal("sig", false);
+    rec.record(s, 10, true);
+    rec.record(s, 20, false);
+
+    std::ostringstream os;
+    rec.renderAscii(os, 0, 30, 10);
+    // One row: low, high, low.
+    EXPECT_NE(os.str().find("sig"), std::string::npos);
+    EXPECT_NE(os.str().find("_#_"), std::string::npos);
+}

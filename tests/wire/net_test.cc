@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the Net model: transport delay, listeners, edge counting,
+ * fault forcing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "wire/net.hh"
+
+using namespace mbus;
+using namespace mbus::sim;
+using namespace mbus::wire;
+
+TEST(Net, TransportDelayDefersVisibility)
+{
+    Simulator s;
+    Net net(s, "n", 10 * kNanosecond, true);
+    net.drive(false);
+    EXPECT_TRUE(net.value()); // Not yet visible.
+    s.run();
+    EXPECT_FALSE(net.value());
+    EXPECT_EQ(s.now(), 10 * kNanosecond);
+}
+
+TEST(Net, RedundantDrivesAreNoops)
+{
+    Simulator s;
+    Net net(s, "n", kNanosecond, true);
+    net.drive(true);
+    EXPECT_FALSE(s.hasPendingEvents());
+}
+
+TEST(Net, ListenersFilterByEdge)
+{
+    Simulator s;
+    Net net(s, "n", kNanosecond, false);
+    int rises = 0, falls = 0, any = 0;
+    net.subscribe(Edge::Rising, [&](bool) { ++rises; });
+    net.subscribe(Edge::Falling, [&](bool) { ++falls; });
+    net.subscribe(Edge::Any, [&](bool) { ++any; });
+
+    net.drive(true);
+    s.run();
+    net.drive(false);
+    s.run();
+    net.drive(true);
+    s.run();
+
+    EXPECT_EQ(rises, 2);
+    EXPECT_EQ(falls, 1);
+    EXPECT_EQ(any, 3);
+}
+
+TEST(Net, CountsTransitions)
+{
+    Simulator s;
+    Net net(s, "n", kNanosecond, false);
+    for (int i = 0; i < 6; ++i) {
+        net.drive(i % 2 == 0);
+        s.run();
+    }
+    EXPECT_EQ(net.risingEdges(), 3u);
+    EXPECT_EQ(net.fallingEdges(), 3u);
+    EXPECT_EQ(net.transitions(), 6u);
+}
+
+TEST(Net, BackToBackEdgesBothDeliver)
+{
+    // Transport (not inertial) semantics: two quick opposite drives
+    // both arrive -- this is what carries drive-to-forward glitches.
+    Simulator s;
+    Net net(s, "n", 10 * kNanosecond, true);
+    int events = 0;
+    net.subscribe(Edge::Any, [&](bool) { ++events; });
+    net.drive(false);
+    s.schedule(kNanosecond, [&] { net.drive(true); });
+    s.run();
+    EXPECT_EQ(events, 2);
+}
+
+TEST(Net, ForceOverridesAndReleases)
+{
+    Simulator s;
+    Net net(s, "n", kNanosecond, true);
+    int events = 0;
+    net.subscribe(Edge::Any, [&](bool) { ++events; });
+
+    net.force(false);
+    EXPECT_FALSE(net.value());
+    EXPECT_EQ(events, 1);
+
+    // Driven changes are masked while forced.
+    net.drive(false);
+    s.run();
+    net.drive(true);
+    s.run();
+    EXPECT_FALSE(net.value());
+
+    net.release();
+    EXPECT_TRUE(net.value()); // Snaps to the driven pipeline value.
+    EXPECT_EQ(events, 2);
+}
+
+TEST(Net, DriveDelayedAddsLatency)
+{
+    Simulator s;
+    Net net(s, "n", 10 * kNanosecond, true);
+    net.driveDelayed(false, 5 * kNanosecond);
+    s.run();
+    EXPECT_EQ(s.now(), 15 * kNanosecond);
+    EXPECT_FALSE(net.value());
+}
