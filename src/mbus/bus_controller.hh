@@ -102,8 +102,12 @@ struct BusControllerStats
 
 /**
  * The per-chip MBus protocol engine.
+ *
+ * Receives its clock edges directly from the sleep controller
+ * through the ClockEdgeSink interface (counted, wakeup-stepped
+ * edges -- never raw Net subscriptions).
  */
-class BusController
+class BusController : public ClockEdgeSink
 {
   public:
     explicit BusController(BusControllerContext ctx, NodeConfig cfg);
@@ -177,8 +181,8 @@ class BusController
     /** Hooked to the interjection detector by the node. */
     void onInterjectionDetected();
 
-    /** Edge hook from the sleep controller. */
-    void onClkEdge(bool rising);
+    /** Edge delivery from the sleep controller (ClockEdgeSink). */
+    void onClkEdge(bool rising) override;
 
   private:
     enum class Phase : std::uint8_t {

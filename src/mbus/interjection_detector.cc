@@ -4,9 +4,19 @@ namespace mbus {
 namespace bus {
 
 InterjectionDetector::InterjectionDetector(wire::Net &clk, wire::Net &data)
+    : dataNet_(&data)
 {
-    data.subscribe(wire::Edge::Any, [this](bool) { onDataEdge(); });
-    clk.subscribe(wire::Edge::Any, [this](bool) { onClkEdge(); });
+    data.listen(wire::Edge::Any, *this);
+    clk.listen(wire::Edge::Any, *this);
+}
+
+void
+InterjectionDetector::onNetEdge(wire::Net &net, bool)
+{
+    if (&net == dataNet_)
+        onDataEdge();
+    else
+        onClkEdge();
 }
 
 void

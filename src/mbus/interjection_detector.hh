@@ -27,7 +27,7 @@ namespace mbus {
 namespace bus {
 
 /** Saturating DATA-edge counter, reset by CLK edges. */
-class InterjectionDetector
+class InterjectionDetector : private wire::EdgeListener
 {
   public:
     /** DATA edges (with no intervening CLK edge) that assert. */
@@ -53,9 +53,11 @@ class InterjectionDetector
     std::uint64_t assertions() const { return assertions_; }
 
   private:
+    void onNetEdge(wire::Net &net, bool value) override;
     void onDataEdge();
     void onClkEdge();
 
+    wire::Net *dataNet_;
     std::function<void()> onInterjection_;
     int count_ = 0;
     bool asserted_ = false;

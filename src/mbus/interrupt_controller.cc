@@ -7,8 +7,13 @@ InterruptController::InterruptController(wire::Net &localClk,
                                          WireController &dataCtl)
     : dataCtl_(dataCtl)
 {
-    localClk.subscribe(wire::Edge::Falling,
-                       [this](bool) { onClkEdge(); });
+    localClk.listen(wire::Edge::Falling, *this);
+}
+
+void
+InterruptController::onNetEdge(wire::Net &, bool)
+{
+    onClkEdge();
 }
 
 void

@@ -25,7 +25,7 @@ namespace mbus {
 namespace bus {
 
 /** Always-on interrupt frontend generating null transactions. */
-class InterruptController
+class InterruptController : private wire::EdgeListener
 {
   public:
     /**
@@ -55,6 +55,7 @@ class InterruptController
     std::uint64_t assertedCount() const { return asserted_; }
 
   private:
+    void onNetEdge(wire::Net &net, bool value) override;
     void beginNullTransaction();
     void onClkEdge();
 

@@ -7,26 +7,27 @@ namespace bus {
 
 Mediator::Mediator(Context ctx) : ctx_(std::move(ctx))
 {
+    ctx_.dataIn.listen(wire::Edge::Any, *this);
+}
+
+void
+Mediator::onNetEdge(wire::Net &, bool value)
+{
     // Track DATA edges returning to the mediator during interjection
     // so the sequence keeps toggling until it has propagated the
     // whole ring (robust even when a driving node blocks the first
     // edges).
-    ctx_.dataIn.subscribe(wire::Edge::Any, [this](bool) {
-        if (state_ == State::Interjecting)
-            ++dataInEdgesDuringIntj_;
-    });
+    if (state_ == State::Interjecting)
+        ++dataInEdgesDuringIntj_;
+    // Falling-edge wakeup detector, live only once arm()ed.
+    if (!value && armed_ && state_ == State::Asleep)
+        onDataFall();
 }
 
 void
 Mediator::arm()
 {
-    if (armed_)
-        return;
     armed_ = true;
-    ctx_.dataIn.subscribe(wire::Edge::Falling, [this](bool) {
-        if (state_ == State::Asleep)
-            onDataFall();
-    });
 }
 
 sim::SimTime

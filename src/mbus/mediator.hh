@@ -45,7 +45,7 @@ struct MediatorStats
 /**
  * The mediator node function.
  */
-class Mediator
+class Mediator : private wire::EdgeListener
 {
   public:
     struct Context
@@ -122,6 +122,7 @@ class Mediator
         Rescue,    ///< Host-requested bus rescue.
     };
 
+    void onNetEdge(wire::Net &net, bool value) override;
     void onDataFall();
     void startClocking();
     void driveClockEdge();

@@ -64,8 +64,7 @@ Node::bind(wire::Net &clkIn, wire::Net &clkOut, wire::Net &dataIn,
     layerCtl_ =
         std::make_unique<LayerController>(sim_, *busCtl_, *layerDomain_);
 
-    sleepCtl_->setEdgeHook(
-        [this](bool rising) { busCtl_->onClkEdge(rising); });
+    sleepCtl_->setEdgeSink(*busCtl_);
     detector_->setOnInterjection(
         [this] { busCtl_->onInterjectionDetected(); });
     busDomain_->setOnShutdown([this] { busCtl_->onPowerLost(); });
@@ -76,18 +75,23 @@ Node::bind(wire::Net &clkIn, wire::Net &clkOut, wire::Net &dataIn,
             return handlePreDispatch(rx);
         });
 
+    // The node's own always-on edge logic (combinational forwarding
+    // energy, then the mutable-priority break) -- see onNetEdge().
+    localClk.listen(wire::Edge::Any, *this);
+}
+
+void
+Node::onNetEdge(wire::Net &, bool rising)
+{
     // Always-on combinational forwarding energy: half the per-cycle
     // term on each local CLK edge.
-    localClk.subscribe(wire::Edge::Any, [this](bool) {
-        ledger_.charge(id_, power::EnergyCategory::Comb,
-                       energy_.combPerCycle() / 2.0);
-    });
+    ledger_.charge(id_, power::EnergyCategory::Comb,
+                   energy_.combPerCycle() / 2.0);
 
     // Mutable-priority break (Sec 7): one bit of always-on wire
     // logic that, when this node holds the break role, parks DATA
     // high for the arbitration cycle.
-    localClk.subscribe(wire::Edge::Any,
-                       [this](bool rising) { onArbBreakEdge(rising); });
+    onArbBreakEdge(rising);
 }
 
 void

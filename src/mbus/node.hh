@@ -42,8 +42,12 @@ namespace bus {
 
 /**
  * One chip on the MBus ring.
+ *
+ * The node itself is the edge listener for its local clock's
+ * always-on combinational logic: per-edge forwarding energy and the
+ * mutable-priority arbitration break (Sec 7).
  */
-class Node
+class Node : private wire::EdgeListener
 {
   public:
     Node(sim::Simulator &sim, const SystemConfig &sysCfg, NodeConfig cfg,
@@ -137,6 +141,7 @@ class Node
     }
 
   private:
+    void onNetEdge(wire::Net &net, bool value) override;
     bool handlePreDispatch(const ReceivedMessage &rx);
     void onArbBreakEdge(bool rising);
 

@@ -7,8 +7,13 @@ SleepController::SleepController(wire::Net &localClk,
                                  power::PowerDomain &busDomain)
     : busDomain_(busDomain)
 {
-    localClk.subscribe(wire::Edge::Any,
-                       [this](bool v) { onClkEdge(v); });
+    localClk.listen(wire::Edge::Any, *this);
+}
+
+void
+SleepController::onNetEdge(wire::Net &, bool value)
+{
+    onClkEdge(value);
 }
 
 void
@@ -30,6 +35,8 @@ SleepController::onClkEdge(bool value)
     if (!busDomain_.active())
         busDomain_.step();
 
+    if (sink_)
+        sink_->onClkEdge(value);
     if (hook_)
         hook_(value);
 }

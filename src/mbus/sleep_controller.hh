@@ -25,8 +25,25 @@
 namespace mbus {
 namespace bus {
 
+/**
+ * Receiver of counted clock edges (the bus controller FSM).
+ *
+ * The sleep controller delivers each local CLK edge -- after wakeup
+ * stepping and counting -- straight to this interface, so the
+ * per-edge protocol path goes through one virtual call instead of a
+ * std::function trampoline.
+ */
+class ClockEdgeSink
+{
+  public:
+    virtual void onClkEdge(bool rising) = 0;
+
+  protected:
+    ~ClockEdgeSink() = default;
+};
+
 /** Always-on wakeup frontend and transaction edge counter. */
-class SleepController
+class SleepController : private wire::EdgeListener
 {
   public:
     /** Callback fired on every local CLK edge after counting. */
@@ -51,20 +68,26 @@ class SleepController
     void noteIdle();
 
     /**
-     * Register a hook to run after this controller processes each
-     * edge (the bus controller's edge handler). Using a hook rather
+     * Register the edge sink run after this controller processes
+     * each edge (the bus controller's FSM). Using a sink rather
      * than a second Net subscription pins the ordering: wakeup
-     * stepping and counting always precede FSM work on the same edge.
+     * stepping and counting always precede FSM work on the same
+     * edge. The sink fires before any closure hook.
      */
+    void setEdgeSink(ClockEdgeSink &sink) { sink_ = &sink; }
+
+    /** Closure variant of setEdgeSink (tests / prototyping). */
     void setEdgeHook(EdgeHook hook) { hook_ = std::move(hook); }
 
     /** Transactions observed (for stats). */
     std::uint64_t transactionsSeen() const { return transactions_; }
 
   private:
+    void onNetEdge(wire::Net &net, bool value) override;
     void onClkEdge(bool value);
 
     power::PowerDomain &busDomain_;
+    ClockEdgeSink *sink_ = nullptr;
     EdgeHook hook_;
 
     bool active_ = false;

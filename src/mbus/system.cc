@@ -98,21 +98,17 @@ MBusSystem::finalize()
 
     // Switching-energy taps: each transition on a segment charges the
     // driving chip (output pad + wire + next chip's input pad).
+    auto tap = [this](wire::Net &seg, std::size_t i,
+                      power::EnergyCategory cat) {
+        energyTaps_.push_back(
+            std::make_unique<SegmentEnergyTap>(*this, i, cat));
+        seg.listen(wire::Edge::Any, *energyTaps_.back());
+    };
     for (std::size_t i = 0; i < n; ++i) {
-        clkSegs_[i]->subscribe(wire::Edge::Any, [this, i](bool) {
-            ledger_.charge(i, power::EnergyCategory::SegmentClk,
-                           energy_.segmentEdge());
-        });
-        dataSegs_[i]->subscribe(wire::Edge::Any, [this, i](bool) {
-            ledger_.charge(i, power::EnergyCategory::SegmentData,
-                           energy_.segmentEdge());
-        });
-        for (auto &lane : laneSegs_) {
-            lane[i]->subscribe(wire::Edge::Any, [this, i](bool) {
-                ledger_.charge(i, power::EnergyCategory::SegmentData,
-                               energy_.segmentEdge());
-            });
-        }
+        tap(*clkSegs_[i], i, power::EnergyCategory::SegmentClk);
+        tap(*dataSegs_[i], i, power::EnergyCategory::SegmentData);
+        for (auto &lane : laneSegs_)
+            tap(*lane[i], i, power::EnergyCategory::SegmentData);
     }
 
     medLink_ = std::make_unique<MediatorHostLink>();

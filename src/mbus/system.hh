@@ -146,6 +146,27 @@ class MBusSystem
   private:
     bool handleConfigBroadcast(const ReceivedMessage &rx);
 
+    /** Switching-energy tap: one per ring segment, charging the
+     *  driving chip for each transition (allocation-free fanout). */
+    struct SegmentEnergyTap final : wire::EdgeListener
+    {
+        SegmentEnergyTap(MBusSystem &s, std::size_t n,
+                         power::EnergyCategory c)
+            : sys(&s), nodeId(n), category(c)
+        {}
+
+        void
+        onNetEdge(wire::Net &, bool) override
+        {
+            sys->ledger_.charge(nodeId, category,
+                                sys->energy_.segmentEdge());
+        }
+
+        MBusSystem *sys;
+        std::size_t nodeId;
+        power::EnergyCategory category;
+    };
+
     sim::Simulator &sim_;
     SystemConfig cfg_;
     power::EnergyLedger ledger_;
@@ -155,6 +176,7 @@ class MBusSystem
     std::vector<std::unique_ptr<wire::Net>> clkSegs_;
     std::vector<std::unique_ptr<wire::Net>> dataSegs_;
     std::vector<std::vector<std::unique_ptr<wire::Net>>> laneSegs_;
+    std::vector<std::unique_ptr<SegmentEnergyTap>> energyTaps_;
     std::unique_ptr<Mediator> mediator_;
     std::unique_ptr<MediatorHostLink> medLink_;
     bool finalized_ = false;

@@ -6,7 +6,13 @@ namespace bus {
 WireController::WireController(wire::Net &in, wire::Net &out)
     : in_(in), out_(out)
 {
-    in_.subscribe(wire::Edge::Any, [this](bool v) { onInput(v); });
+    in_.listen(wire::Edge::Any, *this);
+}
+
+void
+WireController::onNetEdge(wire::Net &, bool value)
+{
+    onInput(value);
 }
 
 void

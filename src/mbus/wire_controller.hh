@@ -22,7 +22,7 @@ namespace mbus {
 namespace bus {
 
 /** Forward/drive mux for one node on one ring line. */
-class WireController
+class WireController : private wire::EdgeListener
 {
   public:
     enum class Mode : std::uint8_t { Forward, Drive };
@@ -48,6 +48,7 @@ class WireController
     bool forwarding() const { return mode_ == Mode::Forward; }
 
   private:
+    void onNetEdge(wire::Net &net, bool value) override;
     void onInput(bool v);
 
     wire::Net &in_;

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Small-buffer-optimized event callback and the edge-sink interface.
+ *
+ * EventCallback replaces std::function<void()> on the event-delivery
+ * hot path. Any callable whose state fits kInlineSize bytes (every
+ * closure the simulator schedules in steady state: a `this` pointer
+ * plus a few words) is stored inline in the callback object itself,
+ * so scheduling an event performs no heap allocation. Larger or
+ * throwing-move callables transparently fall back to the heap; the
+ * EventQueue counts those so tests can assert the hot path stayed
+ * allocation-free.
+ *
+ * EdgeSink is the companion fast path: a wire-level component that
+ * receives delayed edge deliveries (a Net applying a driven value
+ * after its propagation delay) implements EdgeSink once and the
+ * kernel packs {sink pointer, value} into the inline buffer with a
+ * fixed thunk -- no per-call closure object at all.
+ */
+
+#ifndef MBUS_SIM_CALLBACK_HH
+#define MBUS_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mbus {
+namespace sim {
+
+/**
+ * Receiver of a scheduled edge delivery (see Simulator::scheduleEdge).
+ */
+class EdgeSink
+{
+  public:
+    /** Deliver the edge: @p value is the new wire level. */
+    virtual void onEdge(bool value) = 0;
+
+  protected:
+    ~EdgeSink() = default;
+};
+
+/**
+ * A move-only callable holder with inline small-buffer storage.
+ *
+ * Semantically a lightweight std::function<void()>: constructible
+ * from any nullary callable, invocable once or many times. Unlike
+ * std::function it guarantees inline storage for callables up to
+ * kInlineSize bytes and exposes onHeap() so the kernel can account
+ * for spills.
+ */
+class EventCallback
+{
+  public:
+    /** Bytes of inline storage; closures up to this size never
+     *  allocate. Sized so a std::function-carrying completion
+     *  closure (32 bytes on common ABIs) still fits. */
+    static constexpr std::size_t kInlineSize = 48;
+
+    EventCallback() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                  std::is_invocable_v<std::decay_t<F> &>>>
+    EventCallback(F &&fn)
+    {
+        emplace(std::forward<F>(fn));
+    }
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    /** Pack an edge delivery: no closure, just {sink, value}. */
+    static EventCallback
+    edge(EdgeSink &sink, bool value)
+    {
+        return EventCallback(EdgeThunk{&sink, value});
+    }
+
+    /**
+     * Replace the held callable, constructing the new one directly
+     * in this object's storage (the zero-relocation path the event
+     * slab uses: the callable is built in its slot, not moved in).
+     */
+    template <typename F>
+    void
+    assign(F &&fn)
+    {
+        reset();
+        if constexpr (std::is_same_v<std::decay_t<F>, EventCallback>)
+            moveFrom(fn);
+        else
+            emplace(std::forward<F>(fn));
+    }
+
+    void operator()() { ops_->invoke(storage_); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** True if this callable spilled to the heap (oversized). */
+    bool onHeap() const { return ops_ && ops_->heap; }
+
+    /** Destroy the held callable, leaving the callback empty. */
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct EdgeThunk
+    {
+        EdgeSink *sink;
+        bool value;
+        void operator()() { sink->onEdge(value); }
+    };
+
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct into @p dst from @p src, destroying src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+        bool heap;
+    };
+
+    template <typename Fn>
+    static constexpr Ops kInlineOps = {
+        [](void *p) { (*static_cast<Fn *>(p))(); },
+        [](void *dst, void *src) {
+            Fn *s = static_cast<Fn *>(src);
+            new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+        false,
+    };
+
+    template <typename Fn>
+    static constexpr Ops kHeapOps = {
+        [](void *p) { (**static_cast<Fn **>(p))(); },
+        [](void *dst, void *src) {
+            *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
+        },
+        [](void *p) { delete *static_cast<Fn **>(p); },
+        true,
+    };
+
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineSize &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            new (static_cast<void *>(storage_)) Fn(std::forward<F>(fn));
+            ops_ = &kInlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(static_cast<void *>(storage_)) =
+                new Fn(std::forward<F>(fn));
+            ops_ = &kHeapOps<Fn>;
+        }
+    }
+
+    void
+    moveFrom(EventCallback &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_) {
+            ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace sim
+} // namespace mbus
+
+#endif // MBUS_SIM_CALLBACK_HH

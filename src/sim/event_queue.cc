@@ -1,56 +1,46 @@
 #include "sim/event_queue.hh"
 
-#include <utility>
-
 #include "sim/logging.hh"
 
 namespace mbus {
 namespace sim {
 
-EventHandle
-EventQueue::schedule(SimTime when, EventFunction fn)
+EventQueue::EventQueue()
 {
-    auto state = std::make_shared<EventHandle::State>();
-    state->liveCounter = live_;
-    heap_.push(Entry{when, nextSeq_++, std::move(fn), state});
-    ++*live_;
-    return EventHandle(std::move(state));
+    heap_.reserve(kChunkSize);
+    addChunk();
+    // The constructor's chunk is baseline capacity, not growth.
+    slabGrowths_ = 0;
 }
 
 void
-EventQueue::skipCancelled() const
+EventQueue::addChunk()
 {
-    while (!heap_.empty() && heap_.top().state->cancelled)
-        heap_.pop();
+    chunks_.push_back(std::make_unique<Event[]>(kChunkSize));
+    ++slabGrowths_;
 }
 
-SimTime
-EventQueue::nextTime() const
+void
+EventQueue::cancel(std::uint32_t slot, std::uint64_t seq)
 {
-    skipCancelled();
-    return heap_.empty() ? kTimeForever : heap_.top().when;
+    if (!isPending(slot, seq))
+        return;
+    Event &ev = slotRef(slot);
+    ev.fn.reset();
+    ev.liveSeq = 0;
+    ev.nextFree = freeHead_;
+    freeHead_ = slot;
+    --live_;
+    // The heap entry stays behind; its seq no longer tags the
+    // slot, so it is skipped (and dropped) at pop time.
 }
 
 SimTime
 EventQueue::executeNext()
 {
-    skipCancelled();
-    if (heap_.empty())
+    SimTime when = 0;
+    if (step(kTimeForever, when) != Step::Executed)
         mbus_panic("executeNext() on an empty event queue");
-
-    // priority_queue::top() is const; moving the closure out requires
-    // a copy-free extraction, so copy the small members and move via
-    // const_cast, which is safe because we pop immediately after.
-    Entry &top = const_cast<Entry &>(heap_.top());
-    SimTime when = top.when;
-    EventFunction fn = std::move(top.fn);
-    auto state = std::move(top.state);
-    heap_.pop();
-
-    state->fired = true;
-    --*live_;
-    ++executed_;
-    fn();
     return when;
 }
 

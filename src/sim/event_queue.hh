@@ -2,35 +2,51 @@
  * @file
  * The discrete-event queue at the heart of the simulation kernel.
  *
- * Events are closures scheduled at absolute simulated times. Events
+ * Events are callables scheduled at absolute simulated times. Events
  * scheduled for the same time fire in scheduling order (FIFO), which
  * keeps simulations deterministic. Scheduling returns a handle that
- * can cancel the event before it fires; cancellation is O(1) (the
- * event is tombstoned and skipped at pop time).
+ * can cancel the event before it fires; cancellation is O(1).
+ *
+ * Storage design: event payloads live in a slab of fixed slots --
+ * address-stable 256-slot chunks recycled through a free list -- and
+ * the time-ordered index is a binary min-heap of plain-old-data
+ * entries {when, seq, slot}. The globally unique 64-bit schedule
+ * sequence number doubles as the slot generation: each slot tags
+ * itself with the seq of its current occupant, so a handle {queue,
+ * slot, seq} or a heap entry is stale exactly when the tag no longer
+ * matches -- O(1) cancel, lazy removal at pop time, and no ABA ever
+ * (a 64-bit seq cannot wrap in practice). Because chunks
+ * never move, callbacks execute in place in their slot. Combined with
+ * the small-buffer-optimized EventCallback, steady-state scheduling
+ * performs zero heap allocations: slots, heap storage and callback
+ * bytes are all reused.
+ *
+ * The hot path (schedule / step) is header-inline by design: event
+ * dispatch is the single hottest code in the simulator and must not
+ * pay a cross-TU call per event.
  */
 
 #ifndef MBUS_SIM_EVENT_QUEUE_HH
 #define MBUS_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/types.hh"
 
 namespace mbus {
 namespace sim {
 
-/** The callback type executed when an event fires. */
-using EventFunction = std::function<void()>;
+class EventQueue;
 
 /**
  * A cancellable reference to a scheduled event.
  *
  * Handles are cheap to copy and may outlive the event; cancelling an
- * already-fired or already-cancelled event is a harmless no-op.
+ * already-fired or already-cancelled event is a harmless no-op. A
+ * handle must not be used after its EventQueue has been destroyed.
  */
 class EventHandle
 {
@@ -38,41 +54,21 @@ class EventHandle
     EventHandle() = default;
 
     /** Cancel the referenced event if it has not fired yet. */
-    void
-    cancel()
-    {
-        if (auto s = state_.lock()) {
-            if (!s->cancelled && !s->fired) {
-                s->cancelled = true;
-                if (auto live = s->liveCounter.lock())
-                    --*live;
-            }
-        }
-    }
+    inline void cancel();
 
     /** @return true if this handle references a still-pending event. */
-    bool
-    pending() const
-    {
-        auto s = state_.lock();
-        return s && !s->cancelled && !s->fired;
-    }
+    inline bool pending() const;
 
   private:
     friend class EventQueue;
 
-    struct State
-    {
-        bool cancelled = false;
-        bool fired = false;
-        std::weak_ptr<std::uint64_t> liveCounter;
-    };
-
-    explicit EventHandle(std::shared_ptr<State> state)
-        : state_(std::move(state))
+    EventHandle(EventQueue *queue, std::uint32_t slot, std::uint64_t seq)
+        : queue_(queue), slot_(slot), seq_(seq)
     {}
 
-    std::weak_ptr<State> state_;
+    EventQueue *queue_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint64_t seq_ = 0;
 };
 
 /**
@@ -84,23 +80,119 @@ class EventHandle
 class EventQueue
 {
   public:
+    /** Outcome of a bounded dispatch step. */
+    enum class Step : std::uint8_t {
+        Executed,    ///< An event at or before the limit fired.
+        BeyondLimit, ///< The earliest live event is past the limit.
+        Drained,     ///< No live events remain.
+    };
+
+    EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
     /**
      * Schedule @p fn to fire at absolute time @p when.
      *
+     * The callable is constructed directly in its slab slot (no
+     * intermediate EventCallback relocation).
+     *
      * @param when Absolute simulated time, in picoseconds.
-     * @param fn The callback to execute.
+     * @param fn The callback to execute (anything invocable with no
+     *        arguments, or an EventCallback).
      * @return A handle that can cancel the event.
      */
-    EventHandle schedule(SimTime when, EventFunction fn);
+    template <typename F>
+    EventHandle
+    schedule(SimTime when, F &&fn)
+    {
+        std::uint32_t slot;
+        if (freeHead_ != kNoSlot) {
+            slot = freeHead_;
+            freeHead_ = slotRef(slot).nextFree;
+        } else {
+            if (totalSlots_ == (chunks_.size() << kChunkShift))
+                addChunk();
+            slot = totalSlots_++;
+        }
+        Event &ev = slotRef(slot);
+        ev.fn.assign(std::forward<F>(fn));
+        if (ev.fn.onHeap())
+            ++heapCallbacks_;
+
+        const std::uint64_t seq = ++nextSeq_;
+        ev.liveSeq = seq;
+        heap_.push_back(HeapEntry{when, seq, slot});
+        siftUp(heap_.size() - 1);
+        ++live_;
+        return EventHandle(this, slot, seq);
+    }
+
+    /**
+     * Fast path for wire-edge delivery: schedules @p sink.onEdge(value)
+     * with no closure construction at the call site.
+     */
+    EventHandle
+    scheduleEdge(SimTime when, EdgeSink &sink, bool value)
+    {
+        return schedule(when, EventCallback::edge(sink, value));
+    }
+
+    /**
+     * Execute the earliest live event if it is at or before @p limit.
+     *
+     * This is the fused dispatch step the Simulator's run loops use:
+     * one heap scan decides emptiness, limit, and execution.
+     *
+     * @param limit Inclusive time bound.
+     * @param firedAt Set to the event time when Step::Executed --
+     *        and set *before* the callback runs, so the caller may
+     *        pass its "now" and callbacks observe the event time
+     *        (untouched otherwise).
+     */
+    Step
+    step(SimTime limit, SimTime &firedAt)
+    {
+        skipStale();
+        if (heap_.empty())
+            return Step::Drained;
+        HeapEntry top = heap_.front();
+        if (top.when > limit)
+            return Step::BeyondLimit;
+        popHeapTop();
+        firedAt = top.when;
+
+        Event &ev = slotRef(top.slot);
+        // Clear the tag before firing: from the callback's own point
+        // of view the event is no longer pending, and cancel() on
+        // its own handle is a no-op (the previous design's
+        // fired-flag semantics).
+        ev.liveSeq = 0;
+        --live_;
+        ++executed_;
+        // Chunks are address-stable, so the callback runs in place
+        // even if it schedules events (possibly growing the slab).
+        ev.fn();
+        ev.fn.reset();
+        ev.nextFree = freeHead_;
+        freeHead_ = top.slot;
+        return Step::Executed;
+    }
 
     /** @return true if no live events remain. */
-    bool empty() const { return *live_ == 0; }
+    bool empty() const { return live_ == 0; }
 
     /** @return the number of live (non-cancelled) pending events. */
-    std::uint64_t size() const { return *live_; }
+    std::uint64_t size() const { return live_; }
 
     /** @return the time of the earliest live event, or kTimeForever. */
-    SimTime nextTime() const;
+    SimTime
+    nextTime() const
+    {
+        skipStale();
+        return heap_.empty() ? kTimeForever : heap_.front().when;
+    }
 
     /**
      * Pop and execute the earliest live event.
@@ -113,33 +205,151 @@ class EventQueue
     /** Total number of events executed so far. */
     std::uint64_t executedCount() const { return executed_; }
 
+    // --- Pool introspection (tests, stats) --------------------------
+
+    /** Number of event slots in the slab (grows, never shrinks). */
+    std::size_t slabSlots() const { return totalSlots_; }
+
+    /** Times the slab grew by a chunk. */
+    std::uint64_t slabGrowths() const { return slabGrowths_; }
+
+    /** Scheduled callbacks whose closure spilled to the heap. */
+    std::uint64_t heapCallbackCount() const { return heapCallbacks_; }
+
   private:
-    struct Entry
+    friend class EventHandle;
+
+    static constexpr std::uint32_t kNoSlot = ~std::uint32_t(0);
+    static constexpr std::uint32_t kChunkShift = 8;
+    static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+    static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+
+    struct Event
+    {
+        EventCallback fn;
+        /** seq of the pending event occupying this slot; 0 = none.
+         *  64-bit and globally unique, so stale references can
+         *  never alias a later occupant. */
+        std::uint64_t liveSeq = 0;
+        std::uint32_t nextFree = kNoSlot;
+    };
+
+    /** POD index entry; stale when seq no longer tags the slot. */
+    struct HeapEntry
     {
         SimTime when;
         std::uint64_t seq;
-        EventFunction fn;
-        std::shared_ptr<EventHandle::State> state;
+        std::uint32_t slot;
 
         bool
-        operator>(const Entry &other) const
+        earlierThan(const HeapEntry &other) const
         {
             if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
+                return when < other.when;
+            return seq < other.seq;
         }
     };
 
-    /** Drop cancelled entries from the head of the heap. */
-    void skipCancelled() const;
+    Event &
+    slotRef(std::uint32_t slot)
+    {
+        return chunks_[slot >> kChunkShift][slot & kChunkMask];
+    }
 
-    mutable std::priority_queue<Entry, std::vector<Entry>,
-                                std::greater<Entry>> heap_;
+    const Event &
+    slotRef(std::uint32_t slot) const
+    {
+        return chunks_[slot >> kChunkShift][slot & kChunkMask];
+    }
+
+    bool
+    isPending(std::uint32_t slot, std::uint64_t seq) const
+    {
+        return slot < totalSlots_ && slotRef(slot).liveSeq == seq;
+    }
+
+    void cancel(std::uint32_t slot, std::uint64_t seq);
+
+    void addChunk();
+
+    /** Drop stale (cancelled) entries from the head of the heap. */
+    void
+    skipStale() const
+    {
+        while (!heap_.empty() &&
+               slotRef(heap_.front().slot).liveSeq !=
+                   heap_.front().seq) {
+            popHeapTop();
+        }
+    }
+
+    void
+    siftUp(std::size_t i)
+    {
+        HeapEntry entry = heap_[i];
+        while (i > 0) {
+            std::size_t parent = (i - 1) / 2;
+            if (!entry.earlierThan(heap_[parent]))
+                break;
+            heap_[i] = heap_[parent];
+            i = parent;
+        }
+        heap_[i] = entry;
+    }
+
+    void
+    siftDown(std::size_t i) const
+    {
+        const std::size_t n = heap_.size();
+        HeapEntry entry = heap_[i];
+        for (;;) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n &&
+                heap_[child + 1].earlierThan(heap_[child])) {
+                ++child;
+            }
+            if (!heap_[child].earlierThan(entry))
+                break;
+            heap_[i] = heap_[child];
+            i = child;
+        }
+        heap_[i] = entry;
+    }
+
+    void
+    popHeapTop() const
+    {
+        heap_.front() = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty())
+            siftDown(0);
+    }
+
+    mutable std::vector<HeapEntry> heap_;
+    std::vector<std::unique_ptr<Event[]>> chunks_;
+    std::uint32_t totalSlots_ = 0;
+    std::uint32_t freeHead_ = kNoSlot;
     std::uint64_t nextSeq_ = 0;
-    std::shared_ptr<std::uint64_t> live_ =
-        std::make_shared<std::uint64_t>(0);
+    std::uint64_t live_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t slabGrowths_ = 0;
+    std::uint64_t heapCallbacks_ = 0;
 };
+
+inline void
+EventHandle::cancel()
+{
+    if (queue_)
+        queue_->cancel(slot_, seq_);
+}
+
+inline bool
+EventHandle::pending() const
+{
+    return queue_ && queue_->isPending(slot_, seq_);
+}
 
 } // namespace sim
 } // namespace mbus

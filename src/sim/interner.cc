@@ -1,0 +1,29 @@
+#include "sim/interner.hh"
+
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace sim {
+
+StringInterner::Id
+StringInterner::intern(const std::string &s)
+{
+    auto it = index_.find(s);
+    if (it != index_.end())
+        return it->second;
+    Id id = static_cast<Id>(names_.size());
+    names_.push_back(s);
+    index_.emplace(s, id);
+    return id;
+}
+
+const std::string &
+StringInterner::name(Id id) const
+{
+    if (id >= names_.size())
+        mbus_panic("unknown interned id ", id);
+    return names_[id];
+}
+
+} // namespace sim
+} // namespace mbus

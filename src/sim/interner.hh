@@ -1,0 +1,49 @@
+/**
+ * @file
+ * String interning for simulation object names.
+ *
+ * Components that exist in large numbers (nets, power domains) carry
+ * diagnostic names. Interning maps each distinct name to a dense
+ * 32-bit id once, so the hot paths pass and store 4-byte ids while
+ * tracing and diagnostics resolve them back to strings on demand.
+ */
+
+#ifndef MBUS_SIM_INTERNER_HH
+#define MBUS_SIM_INTERNER_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+namespace mbus {
+namespace sim {
+
+/** A dense table of interned strings. */
+class StringInterner
+{
+  public:
+    using Id = std::uint32_t;
+
+    /** Intern @p s, returning its stable id (idempotent). */
+    Id intern(const std::string &s);
+
+    /**
+     * Resolve an id back to its string. The reference stays valid
+     * for the interner's lifetime (deque storage: later interning
+     * never moves earlier strings). @pre id was returned here.
+     */
+    const std::string &name(Id id) const;
+
+    /** Number of distinct interned strings. */
+    std::size_t size() const { return names_.size(); }
+
+  private:
+    std::deque<std::string> names_;
+    std::unordered_map<std::string, Id> index_;
+};
+
+} // namespace sim
+} // namespace mbus
+
+#endif // MBUS_SIM_INTERNER_HH

@@ -7,14 +7,17 @@ SimTime
 Simulator::run(SimTime limit)
 {
     stopRequested_ = false;
-    while (!queue_.empty() && !stopRequested_) {
-        SimTime next = queue_.nextTime();
-        if (next > limit) {
+    // step() advances now_ to the event time *before* the callback
+    // runs, so callbacks observe the correct current time.
+    while (!stopRequested_) {
+        EventQueue::Step r = queue_.step(limit, now_);
+        if (r == EventQueue::Step::Executed)
+            continue;
+        if (r == EventQueue::Step::BeyondLimit) {
             now_ = limit;
             return now_;
         }
-        now_ = next;
-        queue_.executeNext();
+        break; // Drained.
     }
     // The queue drained before the limit: idle time still passes
     // (leakage integration depends on this).
@@ -29,16 +32,18 @@ Simulator::runUntil(const std::function<bool()> &done, SimTime limit)
     stopRequested_ = false;
     if (done())
         return true;
-    while (!queue_.empty() && !stopRequested_) {
-        SimTime next = queue_.nextTime();
-        if (next > limit) {
+    while (!stopRequested_) {
+        EventQueue::Step r = queue_.step(limit, now_);
+        if (r == EventQueue::Step::Executed) {
+            if (done())
+                return true;
+            continue;
+        }
+        if (r == EventQueue::Step::BeyondLimit) {
             now_ = limit;
             return done();
         }
-        now_ = next;
-        queue_.executeNext();
-        if (done())
-            return true;
+        break; // Drained.
     }
     // No events can change the predicate any more; idle out to the
     // limit before the final check.

@@ -14,7 +14,9 @@
 #include <cstdint>
 #include <functional>
 
+#include "sim/callback.hh"
 #include "sim/event_queue.hh"
+#include "sim/interner.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -42,19 +44,31 @@ class Simulator
      *              event completes, still at the same timestamp).
      * @param fn Callback to run.
      */
+    template <typename F>
     EventHandle
-    schedule(SimTime delay, EventFunction fn)
+    schedule(SimTime delay, F &&fn)
     {
-        return queue_.schedule(now_ + delay, std::move(fn));
+        return queue_.schedule(now_ + delay, std::forward<F>(fn));
     }
 
     /** Schedule a callback at an absolute time (must be >= now). */
+    template <typename F>
     EventHandle
-    scheduleAt(SimTime when, EventFunction fn)
+    scheduleAt(SimTime when, F &&fn)
     {
         if (when < now_)
             mbus_panic("scheduling into the past: ", when, " < ", now_);
-        return queue_.schedule(when, std::move(fn));
+        return queue_.schedule(when, std::forward<F>(fn));
+    }
+
+    /**
+     * Fast path for delayed edge delivery: fires sink.onEdge(value)
+     * after @p delay with zero closure construction or allocation.
+     */
+    EventHandle
+    scheduleEdge(SimTime delay, EdgeSink &sink, bool value)
+    {
+        return queue_.scheduleEdge(now_ + delay, sink, value);
     }
 
     /**
@@ -84,8 +98,16 @@ class Simulator
     /** Total events executed since construction. */
     std::uint64_t eventsExecuted() const { return queue_.executedCount(); }
 
+    /** The event store (pool introspection for tests and stats). */
+    const EventQueue &queue() const { return queue_; }
+
+    /** Name interner shared by this simulation's components. */
+    StringInterner &names() { return names_; }
+    const StringInterner &names() const { return names_; }
+
   private:
     EventQueue queue_;
+    StringInterner names_;
     SimTime now_ = 0;
     bool stopRequested_ = false;
 };

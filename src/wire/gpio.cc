@@ -19,15 +19,23 @@ Gpio::write(bool v, sim::SimTime driveLatency)
 }
 
 void
+Gpio::IrqLine::onNetEdge(Net &, bool value)
+{
+    if (!gpio->irqEnabled_)
+        return;
+    // Defer ISR entry. The handler is copied into the event so an
+    // in-flight delivery survives the Gpio being destroyed.
+    gpio->sim_.schedule(latency, [fn = isr, value] { fn(value); });
+}
+
+void
 Gpio::attachInterrupt(Edge edge, sim::SimTime latency, Isr isr)
 {
     if (dir_ != Direction::Input)
         mbus_panic("attachInterrupt() on output GPIO ", net_.name());
-    net_.subscribe(edge, [this, latency, isr](bool level) {
-        if (!irqEnabled_)
-            return;
-        sim_.schedule(latency, [isr, level] { isr(level); });
-    });
+    irqs_.push_back(
+        std::make_unique<IrqLine>(*this, latency, std::move(isr)));
+    net_.listen(edge, *irqs_.back());
 }
 
 } // namespace wire

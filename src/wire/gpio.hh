@@ -12,6 +12,8 @@
 #define MBUS_WIRE_GPIO_HH
 
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "sim/simulator.hh"
 #include "wire/net.hh"
@@ -60,10 +62,26 @@ class Gpio
     void setInterruptEnabled(bool enabled) { irqEnabled_ = enabled; }
 
   private:
+    /** One attached interrupt: an edge listener that schedules the
+     *  ISR entry after the configured latency. */
+    struct IrqLine final : EdgeListener
+    {
+        IrqLine(Gpio &g, sim::SimTime lat, Isr fn)
+            : gpio(&g), latency(lat), isr(std::move(fn))
+        {}
+
+        void onNetEdge(Net &net, bool value) override;
+
+        Gpio *gpio;
+        sim::SimTime latency;
+        Isr isr;
+    };
+
     sim::Simulator &sim_;
     Net &net_;
     Direction dir_;
     bool irqEnabled_ = true;
+    std::vector<std::unique_ptr<IrqLine>> irqs_;
 };
 
 } // namespace wire

@@ -5,11 +5,43 @@
 namespace mbus {
 namespace wire {
 
-Net::Net(sim::Simulator &sim, std::string name, sim::SimTime delay,
-         bool initial)
-    : sim_(sim), name_(std::move(name)), delay_(delay), value_(initial),
-      driven_(initial)
+/** Boxed closure adapter behind the legacy subscribe() API. */
+class Net::ClosureListener final : public EdgeListener
 {
+  public:
+    explicit ClosureListener(Listener fn) : fn_(std::move(fn)) {}
+
+    void
+    onNetEdge(Net &, bool value) override
+    {
+        fn_(value);
+    }
+
+  private:
+    Listener fn_;
+};
+
+Net::Net(sim::Simulator &sim, const std::string &name, sim::SimTime delay,
+         bool initial)
+    : sim_(sim), id_(sim.names().intern(name)), delay_(delay),
+      value_(initial), driven_(initial)
+{
+}
+
+Net::~Net() = default;
+
+std::uint8_t
+Net::maskOf(Edge edge)
+{
+    switch (edge) {
+      case Edge::Rising:
+        return kMaskRising;
+      case Edge::Falling:
+        return kMaskFalling;
+      case Edge::Any:
+        break;
+    }
+    return kMaskAny;
 }
 
 void
@@ -24,7 +56,13 @@ Net::driveDelayed(bool v, sim::SimTime extra)
     if (driven_ == v)
         return;
     driven_ = v;
-    sim_.schedule(delay_ + extra, [this, v] { applyVisible(v); });
+    sim_.scheduleEdge(delay_ + extra, *this, v);
+}
+
+void
+Net::onEdge(bool value)
+{
+    applyVisible(value);
 }
 
 void
@@ -44,19 +82,30 @@ Net::applyVisible(bool v)
     if (recorder_)
         recorder_->record(traceId_, sim_.now(), v);
 
-    for (const auto &sub : subs_) {
-        bool deliver = sub.edge == Edge::Any ||
-                       (sub.edge == Edge::Rising && v) ||
-                       (sub.edge == Edge::Falling && !v);
-        if (deliver)
-            sub.fn(v);
+    fanout(v);
+}
+
+void
+Net::fanout(bool v)
+{
+    const std::uint8_t bit = v ? kMaskRising : kMaskFalling;
+    for (const Sub &sub : subs_) {
+        if (sub.mask & bit)
+            sub.listener->onNetEdge(*this, v);
     }
+}
+
+void
+Net::listen(Edge edge, EdgeListener &listener)
+{
+    subs_.push_back(Sub{&listener, maskOf(edge)});
 }
 
 void
 Net::subscribe(Edge edge, Listener fn)
 {
-    subs_.push_back(Subscription{edge, std::move(fn)});
+    owned_.push_back(std::make_unique<ClosureListener>(std::move(fn)));
+    listen(edge, *owned_.back());
 }
 
 void
@@ -68,13 +117,7 @@ Net::force(bool v)
     if (previous != v) {
         if (recorder_)
             recorder_->record(traceId_, sim_.now(), v);
-        for (const auto &sub : subs_) {
-            bool deliver = sub.edge == Edge::Any ||
-                           (sub.edge == Edge::Rising && v) ||
-                           (sub.edge == Edge::Falling && !v);
-            if (deliver)
-                sub.fn(v);
-        }
+        fanout(v);
     }
 }
 
@@ -89,13 +132,7 @@ Net::release()
         bool v = value_;
         if (recorder_)
             recorder_->record(traceId_, sim_.now(), v);
-        for (const auto &sub : subs_) {
-            bool deliver = sub.edge == Edge::Any ||
-                           (sub.edge == Edge::Rising && v) ||
-                           (sub.edge == Edge::Falling && !v);
-            if (deliver)
-                sub.fn(v);
-        }
+        fanout(v);
     }
 }
 
@@ -103,7 +140,7 @@ void
 Net::trace(sim::TraceRecorder &recorder)
 {
     recorder_ = &recorder;
-    traceId_ = recorder.addSignal(name_, value());
+    traceId_ = recorder.addSignal(name(), value());
 }
 
 } // namespace wire

@@ -15,6 +15,12 @@
  *  - transition counters feeding the CV^2 switching-energy model;
  *  - fault injection (stuck-at forcing) for the fault-tolerance
  *    property tests.
+ *
+ * Edge fanout is allocation-free: listeners register once through the
+ * EdgeListener interface into a compact {pointer, edge-mask} table,
+ * and delayed deliveries ride the simulator's pooled scheduleEdge
+ * path. Names are interned per simulator, so a net is identified by a
+ * 4-byte id in traces and diagnostics.
  */
 
 #ifndef MBUS_WIRE_NET_HH
@@ -22,6 +28,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +39,8 @@
 namespace mbus {
 namespace wire {
 
+class Net;
+
 /** Edge polarity selector for listeners. */
 enum class Edge {
     Rising,
@@ -40,22 +49,50 @@ enum class Edge {
 };
 
 /**
- * A one-driver digital wire segment with transport delay.
+ * Receiver of visible-value changes on a Net.
+ *
+ * Implemented once per subscribing component; registration stores
+ * only {listener pointer, edge mask}, so fanout touches no closures
+ * and performs no allocation.
  */
-class Net
+class EdgeListener
 {
   public:
-    /** Callback invoked when the visible value changes. */
+    /**
+     * Deliver an edge.
+     *
+     * @param net The net that changed (lets one listener serve
+     *            several nets and branch on identity).
+     * @param value The new visible value.
+     */
+    virtual void onNetEdge(Net &net, bool value) = 0;
+
+  protected:
+    ~EdgeListener() = default;
+};
+
+/**
+ * A one-driver digital wire segment with transport delay.
+ */
+class Net : private sim::EdgeSink
+{
+  public:
+    /** Interned name id (see sim::StringInterner). */
+    using NetId = sim::StringInterner::Id;
+
+    /** Legacy closure listener (tests / prototyping convenience). */
     using Listener = std::function<void(bool value)>;
 
     /**
      * @param sim Owning simulator.
-     * @param name Diagnostic name ("seg2.DATA").
+     * @param name Diagnostic name ("seg2.DATA"); interned.
      * @param delay Propagation delay from drive to visibility.
      * @param initial Initial visible value.
      */
-    Net(sim::Simulator &sim, std::string name, sim::SimTime delay,
+    Net(sim::Simulator &sim, const std::string &name, sim::SimTime delay,
         bool initial = true);
+
+    ~Net(); // Out-of-line: owns forward-declared closure adapters.
 
     /** @return the currently visible value. */
     bool value() const { return forced_ ? forcedValue_ : value_; }
@@ -66,8 +103,11 @@ class Net
     /** @return the configured propagation delay. */
     sim::SimTime delay() const { return delay_; }
 
+    /** @return the interned name id. */
+    NetId id() const { return id_; }
+
     /** @return the diagnostic name. */
-    const std::string &name() const { return name_; }
+    const std::string &name() const { return sim_.names().name(id_); }
 
     /**
      * Drive a new value; listeners see it after the net's delay.
@@ -84,10 +124,19 @@ class Net
     void driveDelayed(bool v, sim::SimTime extra);
 
     /**
-     * Subscribe to visible-value changes.
+     * Subscribe @p listener to visible-value changes.
      *
      * @param edge Which edges to deliver.
-     * @param fn Callback, invoked with the new value.
+     * @param listener Edge receiver; must outlive the net's use.
+     */
+    void listen(Edge edge, EdgeListener &listener);
+
+    /**
+     * Subscribe a closure to visible-value changes.
+     *
+     * Convenience wrapper over listen() for tests and ad-hoc wiring;
+     * the closure is boxed once at subscription time (setup path,
+     * not the event hot path).
      */
     void subscribe(Edge edge, Listener fn);
 
@@ -120,11 +169,29 @@ class Net
     void trace(sim::TraceRecorder &recorder);
 
   private:
+    /** Edge-mask bits (Edge enum folded to a bitmask). */
+    enum : std::uint8_t {
+        kMaskRising = 1,
+        kMaskFalling = 2,
+        kMaskAny = kMaskRising | kMaskFalling,
+    };
+
+    static std::uint8_t maskOf(Edge edge);
+
+    /** Pooled delayed delivery target (sim::EdgeSink). */
+    void onEdge(bool value) override;
+
     /** Deliver a value to the visible side and fan out. */
     void applyVisible(bool v);
 
+    /** Fan an already-applied change out to matching listeners. */
+    void fanout(bool v);
+
+    /** Boxed closure for the legacy subscribe() path. */
+    class ClosureListener;
+
     sim::Simulator &sim_;
-    std::string name_;
+    NetId id_;
     sim::SimTime delay_;
 
     bool value_;   ///< Visible (post-delay) value.
@@ -136,12 +203,14 @@ class Net
     std::uint64_t risingEdges_ = 0;
     std::uint64_t fallingEdges_ = 0;
 
-    struct Subscription
+    /** Compact subscriber table: one pointer + mask per listener. */
+    struct Sub
     {
-        Edge edge;
-        Listener fn;
+        EdgeListener *listener;
+        std::uint8_t mask;
     };
-    std::vector<Subscription> subs_;
+    std::vector<Sub> subs_;
+    std::vector<std::unique_ptr<ClosureListener>> owned_;
 
     sim::TraceRecorder *recorder_ = nullptr;
     sim::TraceRecorder::SignalId traceId_ = 0;
