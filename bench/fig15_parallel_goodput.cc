@@ -3,57 +3,21 @@
  * Regenerates Figure 15: parallel MBus goodput for 1-4 DATA wires at
  * a 400 kHz bus clock, from the closed form plus edge-level simulator
  * validation points using the actual lane-striping implementation.
+ *
+ * The 12 validation cells (3 payload sizes x 4 lane counts) run as
+ * one sharded sweep through the SweepDriver, with per-cell wall time
+ * reported.
  */
 
 #include <cstdio>
-#include <functional>
+#include <string>
+#include <vector>
 
 #include "analysis/goodput.hh"
 #include "bench/bench_util.hh"
-#include "mbus/system.hh"
+#include "sweep/sweep.hh"
 
 using namespace mbus;
-
-namespace {
-
-double
-simulatedGoodput(std::size_t payloadBytes, int lanes)
-{
-    sim::Simulator simulator;
-    bus::SystemConfig cfg;
-    cfg.dataLanes = lanes;
-    bus::MBusSystem system(simulator, cfg);
-    for (int i = 0; i < 3; ++i) {
-        bus::NodeConfig nc;
-        nc.name = "n" + std::to_string(i);
-        nc.fullPrefix = 0x400u + static_cast<std::uint32_t>(i);
-        nc.staticShortPrefix = static_cast<std::uint8_t>(i + 1);
-        nc.powerGated = false;
-        system.addNode(nc);
-    }
-    system.finalize();
-
-    const int kMessages = 10;
-    int done = 0;
-    std::function<void()> send_next = [&] {
-        bus::Message msg;
-        msg.dest = bus::Address::shortAddr(3, bus::kFuMailbox);
-        msg.payload.assign(payloadBytes, 0xA7);
-        system.node(1).send(msg, [&](const bus::TxResult &) {
-            if (++done < kMessages)
-                send_next();
-        });
-    };
-    sim::SimTime start = simulator.now();
-    send_next();
-    simulator.runUntil([&] { return done == kMessages; },
-                       60 * sim::kSecond);
-    double elapsed = sim::toSeconds(simulator.now() - start);
-    return 8.0 * static_cast<double>(payloadBytes) * kMessages /
-           elapsed;
-}
-
-} // namespace
 
 int
 main()
@@ -73,16 +37,47 @@ main()
         std::printf("\n");
     }
 
+    const std::size_t kPayloads[] = {16, 64, 128};
+    std::vector<sweep::ScenarioSpec> grid;
+    for (std::size_t n : kPayloads) {
+        for (int lanes = 1; lanes <= 4; ++lanes) {
+            sweep::ScenarioSpec s;
+            s.name = "fig15_b" + std::to_string(n) + "_w" +
+                     std::to_string(lanes);
+            s.nodes = 3;
+            s.busClockHz = 400e3;
+            s.dataLanes = lanes;
+            s.traffic = sweep::TrafficPattern::SingleSender;
+            s.messages = 10;
+            s.payloadBytes = n;
+            grid.push_back(std::move(s));
+        }
+    }
+    sweep::SweepConfig cfg;
+    cfg.threads = 4;
+    sweep::SweepResult result = sweep::SweepDriver(cfg).run(grid);
+
     benchutil::section("Edge-level simulator validation (actual "
                        "lane-striped transfers, kbit/s)");
-    std::printf("%6s %10s %10s %10s %10s\n", "bytes", "1w", "2w",
-                "3w", "4w");
-    for (std::size_t n : {16u, 64u, 128u}) {
-        std::printf("%6zu", n);
-        for (int lanes = 1; lanes <= 4; ++lanes)
-            std::printf("%10.1f", simulatedGoodput(n, lanes) / 1e3);
+    std::printf("%6s %10s %10s %10s %10s   %s\n", "bytes", "1w", "2w",
+                "3w", "4w", "cell wall [ms]");
+    for (std::size_t row = 0; row < 3; ++row) {
+        std::printf("%6zu", kPayloads[row]);
+        for (int lanes = 1; lanes <= 4; ++lanes) {
+            const sweep::CellResult &cell =
+                result.cell(row * 4 + static_cast<std::size_t>(lanes) - 1);
+            std::printf("%10.1f", cell.stats.goodputBps / 1e3);
+        }
+        std::printf("   ");
+        for (int lanes = 1; lanes <= 4; ++lanes) {
+            const sweep::CellResult &cell =
+                result.cell(row * 4 + static_cast<std::size_t>(lanes) - 1);
+            std::printf("%6.2f", cell.wallSeconds * 1e3);
+        }
         std::printf("\n");
     }
+    std::printf("sweep total: %zu cells, %.3f s cell wall time\n",
+                result.size(), result.totalWallSeconds());
 
     std::printf("\nShape: protocol overhead dominates short "
                 "messages (extra wires barely help); for long "

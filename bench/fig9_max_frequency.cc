@@ -6,58 +6,21 @@
  * 14 nodes) alongside our simulator's conservative settle-before-
  * latch limit, and validates the latter by running real messages at
  * the limit frequency for each population.
+ *
+ * The 13 validation cells run as one sharded sweep through the
+ * SweepDriver (one independent Simulator+MBusSystem per cell), which
+ * also reports per-cell wall time.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "analysis/frequency.hh"
 #include "bench/bench_util.hh"
-#include "mbus/system.hh"
+#include "sweep/sweep.hh"
 
 using namespace mbus;
-
-namespace {
-
-/** Run one message end-to-end at @p hz with @p nodes; true if ACKed
- *  and intact. */
-bool
-validateAtFrequency(int nodes, double hz)
-{
-    sim::Simulator simulator;
-    bus::SystemConfig cfg;
-    cfg.busClockHz = hz;
-    bus::MBusSystem system(simulator, cfg);
-    for (int i = 0; i < nodes; ++i) {
-        bus::NodeConfig nc;
-        nc.name = "n" + std::to_string(i);
-        nc.fullPrefix = 0x200u + static_cast<std::uint32_t>(i);
-        nc.staticShortPrefix = static_cast<std::uint8_t>(i + 1);
-        nc.powerGated = false;
-        system.addNode(nc);
-    }
-    system.finalize();
-
-    std::vector<std::uint8_t> seen;
-    system.node(static_cast<std::size_t>(nodes - 1))
-        .layer()
-        .setMailboxHandler(
-            [&](const bus::ReceivedMessage &rx) { seen = rx.payload; });
-
-    bus::Message msg;
-    msg.dest = bus::Address::shortAddr(
-        static_cast<std::uint8_t>(nodes), bus::kFuMailbox);
-    msg.payload = {0xA5, 0x5A, 0xC3, 0x3C};
-    // Send from a plain member when one exists (exercises the CLK
-    // ring-break end-of-message path); in a 2-node ring node 0 is
-    // the only non-destination sender.
-    std::size_t sender = nodes >= 3 ? 1 : 0;
-    auto r = system.sendAndWait(sender, msg, sim::kSecond);
-    system.runUntilIdle(sim::kSecond);
-    return r && r->status == bus::TxStatus::Ack &&
-           seen == msg.payload;
-}
-
-} // namespace
 
 int
 main()
@@ -65,15 +28,39 @@ main()
     benchutil::banner("Figure 9: Maximum MBus Clock vs Node Count",
                       "Pannuto et al., ISCA'15, Fig 9 (10 ns/hop)");
 
-    std::printf("%6s %18s %24s %10s\n", "nodes", "paper fmax [MHz]",
-                "conservative fmax [MHz]", "sim check");
+    // One validation cell per ring population: a real 4-byte message
+    // at 99.9% of the conservative limit frequency must be delivered
+    // intact and ACKed.
+    std::vector<sweep::ScenarioSpec> grid;
     for (int n = 2; n <= 14; ++n) {
-        double paper = analysis::paperMaxClockHz(n) / 1e6;
-        double cons = analysis::conservativeMaxClockHz(n) / 1e6;
-        bool ok = validateAtFrequency(n, cons * 1e6 * 0.999);
-        std::printf("%6d %18.2f %24.2f %10s\n", n, paper, cons,
-                    ok ? "ACK" : "FAIL");
+        sweep::ScenarioSpec s;
+        s.name = "fig9_n" + std::to_string(n);
+        s.nodes = n;
+        s.busClockHz = analysis::conservativeMaxClockHz(n) * 0.999;
+        s.traffic = sweep::TrafficPattern::SingleSender;
+        s.messages = 1;
+        s.payloadBytes = 4;
+        grid.push_back(std::move(s));
     }
+    sweep::SweepConfig cfg;
+    cfg.threads = 4;
+    sweep::SweepResult result = sweep::SweepDriver(cfg).run(grid);
+
+    std::printf("%6s %18s %24s %10s %12s\n", "nodes",
+                "paper fmax [MHz]", "conservative fmax [MHz]",
+                "sim check", "cell [ms]");
+    for (const sweep::CellResult &cell : result.cells()) {
+        int n = cell.spec.nodes;
+        bool ok = !cell.stats.wedged && cell.stats.acked == 1 &&
+                  cell.stats.payloadMismatches == 0 &&
+                  cell.stats.bytesDelivered == 4;
+        std::printf("%6d %18.2f %24.2f %10s %12.3f\n", n,
+                    analysis::paperMaxClockHz(n) / 1e6,
+                    analysis::conservativeMaxClockHz(n) / 1e6,
+                    ok ? "ACK" : "FAIL", cell.wallSeconds * 1e3);
+    }
+    std::printf("sweep total: %zu cells, %.3f s cell wall time\n",
+                result.size(), result.totalWallSeconds());
 
     std::printf("\nPaper anchors: 14 nodes -> 7.1 MHz; 2 nodes -> 50 "
                 "MHz.\n");

@@ -141,6 +141,10 @@ BusController::beginTransactionIfNeeded()
     rxBitsPending_ = 0;
     dataBitsSeen_ = dataBytesSeen_ = 0;
     iAmInterjector_ = interjectorEom_ = false;
+    // A third-party interject() aimed at a transaction that ended
+    // before the four-byte progress rule allowed it must die with
+    // that transaction, not fire four bytes into the next one.
+    wantInterject_ = false;
 }
 
 void
@@ -436,11 +440,16 @@ BusController::onInterjectionDetected()
     ctlBit0_ = ctlBit1_ = false;
 
     // Switch role (Fig 7): release all holds, resume forwarding.
+    // The mediator can only own the single shared DATA wire (lane
+    // 0); extra parallel lanes are always member-driven, so a
+    // transmitting host must release them even while the mediator
+    // drives DATA -- otherwise a stuck lane mux masks every later
+    // message's bits on that lane.
     ctx_.clkCtl.forward();
-    if (!mediatorOwnsData()) {
-        for (int l = 0; l < lanes(); ++l)
-            forwardLane(l);
-    }
+    if (!mediatorOwnsData())
+        forwardLane(0);
+    for (int l = 1; l < lanes(); ++l)
+        forwardLane(l);
 
     // Byte alignment (Sec 4.9): nodes observe varying edge counts
     // around an interjection; discard any partial byte.

@@ -37,6 +37,13 @@ struct SystemConfig
     int dataLanes = 1;
 
     /**
+     * Inter-chip wire capacitance per ring segment, farads. Negative
+     * means "use the Sec 6.2 conservative model" (power::kWireCapF);
+     * parameter sweeps set it explicitly to study longer wires.
+     */
+    double wireCapF = -1.0;
+
+    /**
      * Extra round-trip latency beyond hopDelay * nodes, e.g. the ISR
      * response time of a bitbanged software member (Sec 6.6). The
      * mediator's ring-continuity checks and the safe-clock limit both

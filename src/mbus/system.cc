@@ -10,7 +10,11 @@ namespace mbus {
 namespace bus {
 
 MBusSystem::MBusSystem(sim::Simulator &sim, SystemConfig cfg)
-    : sim_(sim), cfg_(std::move(cfg))
+    : sim_(sim), cfg_(std::move(cfg)),
+      energy_(power::kSimCalibration,
+              2 * power::kPadCapF + (cfg_.wireCapF >= 0
+                                         ? cfg_.wireCapF
+                                         : power::kWireCapF))
 {
     if (cfg_.dataLanes < 1 || cfg_.dataLanes > 4)
         mbus_fatal("MBus supports 1..4 DATA lanes, got ",

@@ -28,16 +28,22 @@ class SwitchingEnergyModel
     /**
      * @param calibration Scalar applied to every raw CV^2 term.
      *        Defaults to the paper-derived kSimCalibration.
+     * @param segmentCapF Capacitance of one ring segment (two pads
+     *        plus the inter-chip wire). Defaults to the Sec 6.2
+     *        conservative model; parameter sweeps vary it to study
+     *        longer or denser interconnect.
      */
-    explicit SwitchingEnergyModel(double calibration = kSimCalibration)
-        : calibration_(calibration)
+    explicit SwitchingEnergyModel(double calibration = kSimCalibration,
+                                  double segmentCapF = kSegmentCapF)
+        : calibration_(calibration),
+          segmentEdgeJ_(0.5 * segmentCapF * kVdd * kVdd)
     {}
 
     /** Energy per edge on one ring segment (driver-attributed). */
     double
     segmentEdge() const
     {
-        return kSegmentEdgeEnergyJ * calibration_;
+        return segmentEdgeJ_ * calibration_;
     }
 
     /** Forwarding combinational energy, per bus cycle per chip. */
@@ -75,6 +81,7 @@ class SwitchingEnergyModel
 
   private:
     double calibration_;
+    double segmentEdgeJ_;
 };
 
 } // namespace power

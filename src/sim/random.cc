@@ -65,5 +65,21 @@ Random::uniform()
     return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
 }
 
+Random
+Random::split(std::uint64_t cellIndex) const
+{
+    // Fold the full 256-bit state down to 64 bits, offset by the cell
+    // index in golden-ratio steps, and let splitmix64 (both here and
+    // in the seed-expanding constructor) do the decorrelation. The
+    // exact output sequence is pinned by tests/sim/random_test.cc:
+    // changing this function changes every recorded sweep seed.
+    std::uint64_t x = s_[0];
+    x ^= rotl(s_[1], 13);
+    x ^= rotl(s_[2], 29);
+    x ^= rotl(s_[3], 43);
+    x += (cellIndex + 1) * 0x9e3779b97f4a7c15ULL;
+    return Random(splitmix64(x));
+}
+
 } // namespace sim
 } // namespace mbus

@@ -45,6 +45,18 @@ class Random
     /** @return a random byte. */
     std::uint8_t byte() { return static_cast<std::uint8_t>(next() & 0xff); }
 
+    /**
+     * Derive an independent child stream for a sweep cell.
+     *
+     * The child depends only on the parent's *current* state and the
+     * cell index, so `Random(masterSeed).split(i)` is a pure function
+     * of (masterSeed, i): any cell of a sharded sweep can be replayed
+     * solo, on any thread count, and see the identical stream. Sibling
+     * streams (adjacent indices) are decorrelated by pushing the mixed
+     * state through splitmix64. Does not advance the parent.
+     */
+    Random split(std::uint64_t cellIndex) const;
+
   private:
     std::uint64_t s_[4];
 };

@@ -18,6 +18,7 @@
 #include "sim/event_queue.hh"
 #include "sim/interner.hh"
 #include "sim/logging.hh"
+#include "sim/random.hh"
 #include "sim/types.hh"
 
 namespace mbus {
@@ -105,9 +106,21 @@ class Simulator
     StringInterner &names() { return names_; }
     const StringInterner &names() const { return names_; }
 
+    /**
+     * This simulation's RNG stream. Components that need randomness
+     * (workload generators, fault schedules) draw from here so that a
+     * whole run is a pure function of the seed; sweep cells reseed it
+     * with Random::split-derived seeds for solo replayability.
+     */
+    Random &rng() { return rng_; }
+
+    /** Reseed the simulation's RNG stream (typically once, at setup). */
+    void seedRng(std::uint64_t seed) { rng_ = Random(seed); }
+
   private:
     EventQueue queue_;
     StringInterner names_;
+    Random rng_;
     SimTime now_ = 0;
     bool stopRequested_ = false;
 };

@@ -1,0 +1,302 @@
+#include "sweep/scenario.hh"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "mbus/system.hh"
+#include "sim/logging.hh"
+#include "sim/vcd.hh"
+
+namespace mbus {
+namespace sweep {
+
+const char *
+trafficPatternName(TrafficPattern p)
+{
+    switch (p) {
+    case TrafficPattern::SingleSender: return "single";
+    case TrafficPattern::RandomPairs: return "pairs";
+    case TrafficPattern::AllToOne: return "all_to_one";
+    case TrafficPattern::BroadcastMix: return "bcast_mix";
+    }
+    return "?";
+}
+
+std::uint64_t
+fnv1a(const void *data, std::size_t len, std::uint64_t basis)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = basis;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+namespace {
+
+/** One pre-generated transaction of the cell's traffic plan. */
+struct PlannedTx
+{
+    std::size_t sender = 0;
+    bus::Address dest;
+    std::vector<std::uint8_t> payload;
+    bool broadcast = false;
+    bool priority = false;
+    int wireBits = 0;
+    // Fault schedule: a third party interjects mid-message.
+    bool interject = false;
+    std::size_t interjector = 0;
+    double interjectFrac = 0;
+};
+
+/**
+ * Generate the whole traffic plan up front, consuming the cell RNG
+ * stream in one fixed order. Nothing downstream draws randomness, so
+ * the plan -- and therefore the run -- is a pure function of the
+ * seed regardless of how callbacks interleave.
+ */
+std::vector<PlannedTx>
+makePlan(const ScenarioSpec &spec, bus::MBusSystem &system,
+         sim::Random &rng)
+{
+    std::size_t n = static_cast<std::size_t>(spec.nodes);
+    std::vector<PlannedTx> plan;
+    plan.reserve(static_cast<std::size_t>(spec.messages));
+    for (int k = 0; k < spec.messages; ++k) {
+        PlannedTx tx;
+        switch (spec.traffic) {
+        case TrafficPattern::SingleSender:
+            tx.sender = n >= 3 ? 1 : 0;
+            tx.dest = spec.fullAddressing
+                          ? system.node(n - 1).fullAddress(bus::kFuMailbox)
+                          : bus::Address::shortAddr(
+                                static_cast<std::uint8_t>(n),
+                                bus::kFuMailbox);
+            break;
+        case TrafficPattern::RandomPairs: {
+            tx.sender = rng.below(n);
+            std::size_t d = rng.below(n - 1);
+            if (d >= tx.sender)
+                ++d;
+            tx.dest = spec.fullAddressing
+                          ? system.node(d).fullAddress(bus::kFuMailbox)
+                          : bus::Address::shortAddr(
+                                static_cast<std::uint8_t>(d + 1),
+                                bus::kFuMailbox);
+            break;
+        }
+        case TrafficPattern::AllToOne:
+            tx.sender = 1 + static_cast<std::size_t>(k) % (n - 1);
+            tx.dest = spec.fullAddressing
+                          ? system.node(0).fullAddress(bus::kFuMailbox)
+                          : bus::Address::shortAddr(1, bus::kFuMailbox);
+            break;
+        case TrafficPattern::BroadcastMix: {
+            tx.sender = rng.below(n);
+            if (rng.chance(0.25)) {
+                tx.broadcast = true;
+                tx.dest = bus::Address::broadcast(bus::kChannelUserBase);
+            } else {
+                std::size_t d = rng.below(n - 1);
+                if (d >= tx.sender)
+                    ++d;
+                tx.dest = bus::Address::shortAddr(
+                    static_cast<std::uint8_t>(d + 1), bus::kFuMailbox);
+            }
+            break;
+        }
+        }
+        tx.payload.resize(spec.payloadBytes);
+        for (auto &b : tx.payload)
+            b = rng.byte();
+        tx.priority = rng.chance(spec.priorityRate);
+        // Fault schedule draws happen unconditionally so the stream
+        // position never depends on earlier outcomes.
+        bool wantStorm = rng.chance(spec.interjectRate);
+        std::size_t stormNode = rng.below(n - 1);
+        double frac = 0.15 + 0.75 * rng.uniform();
+        if (wantStorm) {
+            tx.interject = true;
+            tx.interjector =
+                stormNode >= tx.sender ? stormNode + 1 : stormNode;
+            tx.interjectFrac = frac;
+        }
+        bus::Message probe;
+        probe.dest = tx.dest;
+        probe.payload = tx.payload;
+        tx.wireBits = probe.wireDataBits();
+        plan.push_back(std::move(tx));
+    }
+    return plan;
+}
+
+} // namespace
+
+ScenarioStats
+runScenario(const ScenarioSpec &spec, std::uint64_t seed)
+{
+    if (spec.nodes < 2 || spec.nodes > 14)
+        mbus_fatal("scenario needs 2..14 nodes, got ", spec.nodes);
+    if (spec.messages < 0)
+        mbus_fatal("scenario needs messages >= 0, got ",
+                   spec.messages);
+
+    sim::Simulator simulator;
+    simulator.seedRng(seed);
+
+    bus::SystemConfig cfg;
+    cfg.busClockHz = spec.busClockHz;
+    cfg.hopDelay = static_cast<sim::SimTime>(spec.hopDelayNs * 1000.0 + 0.5);
+    cfg.dataLanes = spec.dataLanes;
+    cfg.wireCapF = spec.wireLengthMm * spec.wireCapFPerMm;
+
+    bus::MBusSystem system(simulator, cfg);
+    for (int i = 0; i < spec.nodes; ++i) {
+        bus::NodeConfig nc;
+        nc.name = "n" + std::to_string(i);
+        nc.fullPrefix = 0x500u + static_cast<std::uint32_t>(i);
+        nc.staticShortPrefix = static_cast<std::uint8_t>(i + 1);
+        // Node 0 hosts the mediator and stays on; members follow the
+        // spec so gated cells exercise the bus-driven wakeup path.
+        nc.powerGated = i != 0 && spec.powerGated;
+        nc.broadcastChannels |= 1u << bus::kChannelUserBase;
+        system.addNode(nc);
+    }
+    system.finalize();
+
+    sim::TraceRecorder recorder;
+    if (spec.captureVcd)
+        system.attachTrace(recorder);
+
+    auto plan = makePlan(spec, system, simulator.rng());
+
+    ScenarioStats st;
+    st.planned = spec.messages;
+
+    // Delivery integrity: every issued payload is registered as
+    // expected (n-1 copies for broadcasts) and each complete delivery
+    // must consume one registered copy. A completion callback can run
+    // before the receiver's delivery at the same timestamp, so the
+    // check cannot key on "the message currently in flight".
+    std::multiset<std::vector<std::uint8_t>> expected;
+    auto checkDelivery = [&](const bus::ReceivedMessage &rx) {
+        if (rx.interjected)
+            return; // Truncated by design; content untrusted.
+        st.bytesDelivered += rx.payload.size();
+        auto it = expected.find(rx.payload);
+        if (it == expected.end())
+            ++st.payloadMismatches;
+        else
+            expected.erase(it);
+    };
+    for (int i = 0; i < spec.nodes; ++i) {
+        // Unicasts land in the mailbox; broadcasts (channel >= 2)
+        // take the layer's separate broadcast dispatch path.
+        bus::LayerController &layer =
+            system.node(static_cast<std::size_t>(i)).layer();
+        layer.setMailboxHandler(checkDelivery);
+        layer.setBroadcastHandler(
+            [checkDelivery](std::uint8_t,
+                            const bus::ReceivedMessage &rx) {
+                checkDelivery(rx);
+            });
+    }
+
+    int done = 0;
+    sim::SimTime issuedAt = 0;
+    sim::SimTime lastCompletion = 0;
+    double latencySumS = 0;
+    std::uint64_t completedWireBits = 0;
+
+    std::function<void()> issueNext = [&] {
+        if (done >= spec.messages)
+            return;
+        const PlannedTx &tx = plan[static_cast<std::size_t>(done)];
+        int copies =
+            tx.broadcast ? std::max(spec.nodes - 1, 1) : 1;
+        for (int c = 0; c < copies; ++c)
+            expected.insert(tx.payload);
+        issuedAt = simulator.now();
+        bus::Message msg;
+        msg.dest = tx.dest;
+        msg.payload = tx.payload;
+        msg.priority = tx.priority;
+        if (tx.interject) {
+            // Storm: a third party cuts the message after a fraction
+            // of its modelled duration.
+            sim::SimTime period = sim::periodFromHz(spec.busClockHz);
+            auto cycles = static_cast<double>(msg.totalCycles());
+            auto delay = static_cast<sim::SimTime>(
+                tx.interjectFrac * cycles * static_cast<double>(period));
+            std::size_t who = tx.interjector;
+            simulator.schedule(delay,
+                               [&system, who] { system.node(who).interject(); });
+        }
+        int wireBits = tx.wireBits;
+        system.node(tx.sender).send(msg, [&, wireBits](
+                                             const bus::TxResult &r) {
+            switch (r.status) {
+            case bus::TxStatus::Ack: ++st.acked; break;
+            case bus::TxStatus::Nak: ++st.naked; break;
+            case bus::TxStatus::Broadcast: ++st.broadcasts; break;
+            case bus::TxStatus::Interrupted: ++st.interrupted; break;
+            case bus::TxStatus::RxAbort: ++st.rxAborts; break;
+            default: ++st.failed; break;
+            }
+            if (r.status == bus::TxStatus::Ack ||
+                r.status == bus::TxStatus::Broadcast)
+                completedWireBits +=
+                    static_cast<std::uint64_t>(wireBits);
+            st.arbitrationRetries += r.arbitrationRetries;
+            lastCompletion = r.completedAt;
+            double lat = sim::toSeconds(r.completedAt - issuedAt);
+            latencySumS += lat;
+            if (done == 0)
+                st.firstTxLatencyS = lat;
+            ++done;
+            issueNext();
+        });
+    };
+
+    if (spec.messages > 0)
+        issueNext();
+    bool finished = simulator.runUntil(
+        [&] { return done >= spec.messages; }, spec.timeLimit);
+    bool idle = system.runUntilIdle(sim::kSecond);
+    st.wedged = !finished || !idle;
+
+    // --- Reduction ---------------------------------------------------
+    double elapsedS = sim::toSeconds(lastCompletion);
+    if (done > 0 && elapsedS > 0) {
+        st.txPerSecond = static_cast<double>(done) / elapsedS;
+        st.goodputBps =
+            8.0 * static_cast<double>(st.bytesDelivered) / elapsedS;
+        st.avgTxLatencyS = latencySumS / done;
+        st.avgCyclesPerTx = st.avgTxLatencyS * spec.busClockHz;
+    }
+    st.eventsExecuted = simulator.eventsExecuted();
+    if (completedWireBits > 0)
+        st.eventsPerBit = static_cast<double>(st.eventsExecuted) /
+                          static_cast<double>(completedWireBits);
+    st.clockCycles = system.mediator().stats().clockCycles;
+    st.switchingJ = system.ledger().total();
+    st.leakageJ = system.idleLeakageJ();
+    st.simTime = simulator.now();
+
+    if (spec.captureVcd) {
+        std::ostringstream os;
+        recorder.writeVcd(os);
+        st.vcd = os.str();
+        st.vcdBytes = st.vcd.size();
+        st.vcdHash = fnv1a(st.vcd.data(), st.vcd.size());
+    }
+    return st;
+}
+
+} // namespace sweep
+} // namespace mbus

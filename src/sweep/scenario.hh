@@ -1,0 +1,116 @@
+/**
+ * @file
+ * One sweep cell: a self-contained, replayable MBus scenario.
+ *
+ * A ScenarioSpec fully describes one simulated system (ring size,
+ * wire electricals, clock, traffic pattern, fault schedule) *except*
+ * for its RNG seed, which the sweep driver derives from a master seed
+ * via Random::split. runScenario() builds a private Simulator and
+ * MBusSystem, generates the whole traffic plan up front from the cell
+ * stream, drives it, and reduces the run to a ScenarioStats record.
+ *
+ * Determinism contract: ScenarioStats (including the VCD bytes when
+ * captured) is a pure function of (spec, seed). This is what lets the
+ * driver shard cells across any number of threads and still replay
+ * any single cell solo, bit for bit.
+ */
+
+#ifndef MBUS_SWEEP_SCENARIO_HH
+#define MBUS_SWEEP_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace mbus {
+namespace sweep {
+
+/** Who talks to whom within a cell. */
+enum class TrafficPattern : std::uint8_t {
+    SingleSender, ///< One member streams to the last node (Fig 14/15).
+    RandomPairs,  ///< Random (sender, dest) per message.
+    AllToOne,     ///< Members take turns sending to node 0 (gateway).
+    BroadcastMix, ///< Unicasts with random broadcasts mixed in.
+};
+
+/** @return a short printable name ("single", "pairs", ...). */
+const char *trafficPatternName(TrafficPattern p);
+
+/** Everything that defines one sweep cell except its seed. */
+struct ScenarioSpec
+{
+    std::string name;        ///< Cell label for reports ("n3_b8").
+    int nodes = 3;           ///< Ring population (2..14).
+    double busClockHz = 400e3;
+    double hopDelayNs = 10.0;  ///< Node-to-node propagation delay.
+    double wireLengthMm = 2.5; ///< Inter-chip wire length.
+    double wireCapFPerMm = 0.1e-12; ///< Wire capacitance density.
+    int dataLanes = 1;       ///< Parallel MBus lanes (1..4).
+    bool powerGated = false; ///< Power-gate member nodes.
+    bool fullAddressing = false; ///< 32-bit instead of 8-bit addresses.
+    TrafficPattern traffic = TrafficPattern::SingleSender;
+    int messages = 8;             ///< Transactions to issue.
+    std::size_t payloadBytes = 4; ///< Payload length per message.
+    double priorityRate = 0.0;    ///< P(message uses priority arb).
+    double interjectRate = 0.0;   ///< P(third-party interjection storm).
+    sim::SimTime timeLimit = 60 * sim::kSecond; ///< Wedge guard.
+    bool captureVcd = false; ///< Retain the full VCD byte stream.
+};
+
+/** Deterministic per-run reduction of one scenario. */
+struct ScenarioStats
+{
+    // Transaction outcomes (every planned message ends in exactly one).
+    int planned = 0;
+    int acked = 0;
+    int naked = 0;
+    int broadcasts = 0;
+    int interrupted = 0;
+    int rxAborts = 0;
+    int failed = 0; ///< GeneralError and any other terminal status.
+
+    // Delivery integrity.
+    std::uint64_t bytesDelivered = 0; ///< Payload bytes at receivers.
+    std::uint64_t payloadMismatches = 0; ///< Corrupted deliveries.
+    bool wedged = false; ///< Did not finish inside the time limit.
+
+    // Rates and costs.
+    double txPerSecond = 0;    ///< Completed transactions / active s.
+    double goodputBps = 0;     ///< Delivered payload bits / active s.
+    double eventsPerBit = 0;   ///< Kernel events per wire data bit.
+    double switchingJ = 0;     ///< Ledger total (sim scale).
+    double leakageJ = 0;       ///< Integrated idle leakage.
+    double avgTxLatencyS = 0;  ///< Mean issue-to-completion.
+    double firstTxLatencyS = 0; ///< Cold-start (wakeup) latency.
+    double avgCyclesPerTx = 0; ///< Mean bus cycles per transaction.
+
+    // Raw counters for cross-checks.
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t clockCycles = 0;
+    std::uint64_t arbitrationRetries = 0;
+    sim::SimTime simTime = 0; ///< Final simulated timestamp.
+
+    // Waveform identity.
+    std::size_t vcdBytes = 0;  ///< Length of the VCD dump.
+    std::uint64_t vcdHash = 0; ///< FNV-1a over the VCD bytes.
+    std::string vcd; ///< Full dump (only when spec.captureVcd).
+};
+
+/**
+ * Run one cell to completion.
+ *
+ * @param spec The scenario; node count is clamped-checked (2..14).
+ * @param seed Cell RNG seed (from Random::split in sweeps).
+ * @return the deterministic stats record.
+ */
+ScenarioStats runScenario(const ScenarioSpec &spec, std::uint64_t seed);
+
+/** FNV-1a 64-bit, the hash used for VCD and sweep fingerprints. */
+std::uint64_t fnv1a(const void *data, std::size_t len,
+                    std::uint64_t basis = 0xcbf29ce484222325ULL);
+
+} // namespace sweep
+} // namespace mbus
+
+#endif // MBUS_SWEEP_SCENARIO_HH

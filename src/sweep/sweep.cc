@@ -1,0 +1,260 @@
+#include "sweep/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "sim/random.hh"
+
+namespace mbus {
+namespace sweep {
+
+namespace {
+
+/**
+ * Byte-stable double formatting: 17 significant digits round-trip
+ * every IEEE-754 double, and std::to_chars is locale-independent
+ * (unlike printf %g, whose decimal point follows LC_NUMERIC), so two
+ * runs that computed identical values print identical bytes -- the
+ * property the shard-determinism tests and fingerprint() rely on.
+ */
+std::string
+fmt(double v)
+{
+    char buf[40];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                             std::chars_format::general, 17);
+    return std::string(buf, res.ptr);
+}
+
+/**
+ * Cell names are free-form user strings; strip the characters that
+ * would corrupt the CSV column structure or the JSON string literal
+ * (RFC 8259 forbids raw control characters in strings).
+ */
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        if (c == ',' || c == '"' || c == '\\' ||
+            static_cast<unsigned char>(c) < 0x20)
+            c = '_';
+    }
+    return out;
+}
+
+} // namespace
+
+// --- SweepResult -----------------------------------------------------
+
+SweepAggregate
+SweepResult::aggregate() const
+{
+    SweepAggregate a;
+    a.cells = cells_.size();
+    double goodputSum = 0, epbSum = 0;
+    std::uint64_t goodputCells = 0;
+    for (const CellResult &c : cells_) {
+        const ScenarioStats &s = c.stats;
+        a.planned += static_cast<std::uint64_t>(s.planned);
+        a.acked += static_cast<std::uint64_t>(s.acked);
+        a.naked += static_cast<std::uint64_t>(s.naked);
+        a.broadcasts += static_cast<std::uint64_t>(s.broadcasts);
+        a.interrupted += static_cast<std::uint64_t>(s.interrupted);
+        a.rxAborts += static_cast<std::uint64_t>(s.rxAborts);
+        a.failed += static_cast<std::uint64_t>(s.failed);
+        a.mismatches += s.payloadMismatches;
+        a.wedgedCells += s.wedged ? 1 : 0;
+        a.bytesDelivered += s.bytesDelivered;
+        a.events += s.eventsExecuted;
+        a.switchingJ += s.switchingJ;
+        a.leakageJ += s.leakageJ;
+        if (s.goodputBps > 0) {
+            goodputSum += s.goodputBps;
+            ++goodputCells;
+            if (goodputCells == 1 || s.goodputBps < a.minGoodputBps)
+                a.minGoodputBps = s.goodputBps;
+            if (s.goodputBps > a.maxGoodputBps)
+                a.maxGoodputBps = s.goodputBps;
+        }
+        epbSum += s.eventsPerBit;
+    }
+    if (goodputCells > 0)
+        a.meanGoodputBps = goodputSum / static_cast<double>(goodputCells);
+    if (a.cells > 0)
+        a.meanEventsPerBit = epbSum / static_cast<double>(a.cells);
+    return a;
+}
+
+void
+SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
+{
+    os << "index,name,nodes,clock_hz,hop_delay_ns,wire_length_mm,"
+          "wire_cap_f_per_mm,payload_bytes,messages,lanes,"
+          "traffic,gated,full_addr,priority_rate,interject_rate,"
+          "time_limit_ps,seed,"
+          "planned,acked,naked,broadcast,interrupted,rx_abort,failed,"
+          "mismatches,wedged,bytes_delivered,tx_per_s,goodput_bps,events,"
+          "events_per_bit,clock_cycles,arb_retries,switching_j,"
+          "leakage_j,avg_tx_latency_s,first_tx_latency_s,"
+          "avg_cycles_per_tx,sim_time_ps,vcd_bytes,vcd_hash";
+    if (includeWallTime)
+        os << ",wall_s";
+    os << "\n";
+    for (const CellResult &c : cells_) {
+        const ScenarioSpec &p = c.spec;
+        const ScenarioStats &s = c.stats;
+        os << c.index << ',' << sanitizeName(p.name) << ','
+           << p.nodes << ','
+           << fmt(p.busClockHz) << ',' << fmt(p.hopDelayNs) << ','
+           << fmt(p.wireLengthMm) << ',' << fmt(p.wireCapFPerMm)
+           << ',' << p.payloadBytes << ','
+           << p.messages << ',' << p.dataLanes << ','
+           << trafficPatternName(p.traffic) << ','
+           << (p.powerGated ? 1 : 0) << ','
+           << (p.fullAddressing ? 1 : 0) << ','
+           << fmt(p.priorityRate) << ',' << fmt(p.interjectRate) << ','
+           << p.timeLimit << ','
+           << c.seed << ',' << s.planned << ',' << s.acked << ','
+           << s.naked << ',' << s.broadcasts << ',' << s.interrupted
+           << ',' << s.rxAborts << ',' << s.failed << ','
+           << s.payloadMismatches << ',' << (s.wedged ? 1 : 0) << ','
+           << s.bytesDelivered << ',' << fmt(s.txPerSecond) << ','
+           << fmt(s.goodputBps) << ','
+           << s.eventsExecuted << ',' << fmt(s.eventsPerBit) << ','
+           << s.clockCycles << ',' << s.arbitrationRetries << ','
+           << fmt(s.switchingJ) << ',' << fmt(s.leakageJ) << ','
+           << fmt(s.avgTxLatencyS) << ',' << fmt(s.firstTxLatencyS)
+           << ',' << fmt(s.avgCyclesPerTx) << ',' << s.simTime << ','
+           << s.vcdBytes << ',' << s.vcdHash;
+        if (includeWallTime)
+            os << ',' << fmt(c.wallSeconds);
+        os << "\n";
+    }
+}
+
+void
+SweepResult::writeJson(std::ostream &os, bool includeWallTime) const
+{
+    SweepAggregate a = aggregate();
+    os << "{\n  \"master_seed\": " << cfg_.masterSeed
+       << ",\n  \"aggregate\": {"
+       << "\"cells\": " << a.cells << ", \"planned\": " << a.planned
+       << ", \"acked\": " << a.acked << ", \"naked\": " << a.naked
+       << ", \"broadcast\": " << a.broadcasts
+       << ", \"interrupted\": " << a.interrupted
+       << ", \"rx_abort\": " << a.rxAborts
+       << ", \"failed\": " << a.failed
+       << ", \"mismatches\": " << a.mismatches
+       << ", \"wedged_cells\": " << a.wedgedCells
+       << ", \"bytes_delivered\": " << a.bytesDelivered
+       << ", \"events\": " << a.events
+       << ", \"switching_j\": " << fmt(a.switchingJ)
+       << ", \"leakage_j\": " << fmt(a.leakageJ)
+       << ", \"mean_goodput_bps\": " << fmt(a.meanGoodputBps)
+       << ", \"min_goodput_bps\": " << fmt(a.minGoodputBps)
+       << ", \"max_goodput_bps\": " << fmt(a.maxGoodputBps)
+       << ", \"mean_events_per_bit\": " << fmt(a.meanEventsPerBit)
+       << "},\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        const CellResult &c = cells_[i];
+        const ScenarioStats &s = c.stats;
+        os << "    {\"index\": " << c.index << ", \"name\": \""
+           << sanitizeName(c.spec.name) << "\", \"seed\": " << c.seed
+           << ", \"acked\": " << s.acked
+           << ", \"goodput_bps\": " << fmt(s.goodputBps)
+           << ", \"events_per_bit\": " << fmt(s.eventsPerBit)
+           << ", \"switching_j\": " << fmt(s.switchingJ)
+           << ", \"wedged\": " << (s.wedged ? "true" : "false");
+        if (includeWallTime)
+            os << ", \"wall_s\": " << fmt(c.wallSeconds);
+        os << "}" << (i + 1 < cells_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+std::uint64_t
+SweepResult::fingerprint() const
+{
+    std::ostringstream os;
+    writeCsv(os, /*includeWallTime=*/false);
+    std::string bytes = os.str();
+    return fnv1a(bytes.data(), bytes.size());
+}
+
+double
+SweepResult::totalWallSeconds() const
+{
+    double total = 0;
+    for (const CellResult &c : cells_)
+        total += c.wallSeconds;
+    return total;
+}
+
+// --- SweepDriver -----------------------------------------------------
+
+std::uint64_t
+SweepDriver::cellSeed(std::uint64_t index) const
+{
+    return sim::Random(cfg_.masterSeed).split(index).next();
+}
+
+CellResult
+SweepDriver::runCell(const ScenarioSpec &spec, std::uint64_t index) const
+{
+    CellResult r;
+    r.spec = spec;
+    r.index = index;
+    r.seed = cellSeed(index);
+    auto t0 = std::chrono::steady_clock::now();
+    r.stats = runScenario(spec, r.seed);
+    auto t1 = std::chrono::steady_clock::now();
+    r.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return r;
+}
+
+SweepResult
+SweepDriver::run(const std::vector<ScenarioSpec> &grid) const
+{
+    SweepResult result;
+    result.cfg_ = cfg_;
+    result.cells_.resize(grid.size());
+    if (grid.empty())
+        return result;
+
+    unsigned want = cfg_.threads != 0
+                        ? cfg_.threads
+                        : std::thread::hardware_concurrency();
+    if (want == 0)
+        want = 1;
+    std::size_t workers =
+        std::min<std::size_t>(want, grid.size());
+
+    std::atomic<std::size_t> cursor{0};
+    auto work = [&] {
+        for (;;) {
+            std::size_t i = cursor.fetch_add(1);
+            if (i >= grid.size())
+                return;
+            result.cells_[i] =
+                runCell(grid[i], static_cast<std::uint64_t>(i));
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t t = 1; t < workers; ++t)
+        pool.emplace_back(work);
+    work(); // The caller's thread is worker 0.
+    for (auto &th : pool)
+        th.join();
+    return result;
+}
+
+} // namespace sweep
+} // namespace mbus

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The sharded multi-bus sweep engine.
+ *
+ * A SweepDriver takes a grid of ScenarioSpecs, derives one RNG seed
+ * per cell from a splittable master seed (Random::split), fans the
+ * cells across a worker-thread pool -- one fully independent
+ * Simulator + MBusSystem per cell -- and reduces the per-run stats
+ * into a SweepResult with CSV/JSON emission.
+ *
+ * Determinism contract: every deterministic byte of a SweepResult
+ * (the CSV without wall times, the JSON without wall times, and the
+ * fingerprint) depends only on (masterSeed, grid). Thread count,
+ * scheduling order, and machine load never leak in, so a sweep
+ * sharded across 8 threads is byte-identical to the same sweep run
+ * single-threaded -- and any one cell can be replayed solo with
+ * runCell() to reproduce its exact waveform.
+ */
+
+#ifndef MBUS_SWEEP_SWEEP_HH
+#define MBUS_SWEEP_SWEEP_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sweep/scenario.hh"
+
+namespace mbus {
+namespace sweep {
+
+/** Driver-level knobs. */
+struct SweepConfig
+{
+    /** Master seed; cell i runs with Random(master).split(i). */
+    std::uint64_t masterSeed = 0x6d627573ULL;
+
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned threads = 0;
+};
+
+/** One finished cell: its spec, seed, stats, and (non-deterministic)
+ *  wall time. */
+struct CellResult
+{
+    ScenarioSpec spec;
+    std::uint64_t index = 0;
+    std::uint64_t seed = 0;
+    ScenarioStats stats;
+    double wallSeconds = 0; ///< Excluded from deterministic output.
+};
+
+/** Grid-order reduction of a whole sweep. */
+struct SweepAggregate
+{
+    std::uint64_t cells = 0;
+    std::uint64_t planned = 0;
+    std::uint64_t acked = 0;
+    std::uint64_t naked = 0;
+    std::uint64_t broadcasts = 0;
+    std::uint64_t interrupted = 0;
+    std::uint64_t rxAborts = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t mismatches = 0;
+    std::uint64_t wedgedCells = 0;
+    std::uint64_t bytesDelivered = 0;
+    std::uint64_t events = 0;
+    double switchingJ = 0;
+    double leakageJ = 0;
+    double meanGoodputBps = 0;
+    double minGoodputBps = 0;
+    double maxGoodputBps = 0;
+    double meanEventsPerBit = 0;
+};
+
+/** The aggregated outcome of one sweep. */
+class SweepResult
+{
+  public:
+    /** Per-cell results, in grid order regardless of shard count. */
+    const std::vector<CellResult> &cells() const { return cells_; }
+    const CellResult &cell(std::size_t i) const { return cells_.at(i); }
+    std::size_t size() const { return cells_.size(); }
+
+    /** Grid-order reduction (deterministic, including FP ordering). */
+    SweepAggregate aggregate() const;
+
+    /**
+     * CSV emission: header plus one row per cell.
+     *
+     * @param includeWallTime Append the (non-deterministic) per-cell
+     *        wall-time column; leave off for replay comparisons.
+     */
+    void writeCsv(std::ostream &os, bool includeWallTime = false) const;
+
+    /** JSON emission: {config, aggregate, cells:[...]}. */
+    void writeJson(std::ostream &os, bool includeWallTime = false) const;
+
+    /** FNV-1a over the deterministic CSV bytes. */
+    std::uint64_t fingerprint() const;
+
+    /** Total wall-clock seconds across all cells (diagnostic). */
+    double totalWallSeconds() const;
+
+  private:
+    friend class SweepDriver;
+    std::vector<CellResult> cells_;
+    SweepConfig cfg_;
+};
+
+/** Fans a grid of scenarios across a worker-thread pool. */
+class SweepDriver
+{
+  public:
+    explicit SweepDriver(SweepConfig cfg = {}) : cfg_(cfg) {}
+
+    /** The seed cell @p index runs with (pure in masterSeed, index). */
+    std::uint64_t cellSeed(std::uint64_t index) const;
+
+    /**
+     * Run every cell of @p grid and reduce.
+     *
+     * Cells are claimed from an atomic cursor by min(threads, cells)
+     * workers; results land in grid slots, so output order -- and
+     * every deterministic byte -- is shard-count independent.
+     */
+    SweepResult run(const std::vector<ScenarioSpec> &grid) const;
+
+    /**
+     * Replay one cell solo (no pool), with the identical seed the
+     * sharded sweep used. The hook the replay property tests ride on.
+     */
+    CellResult runCell(const ScenarioSpec &spec,
+                       std::uint64_t index) const;
+
+  private:
+    SweepConfig cfg_;
+};
+
+} // namespace sweep
+} // namespace mbus
+
+#endif // MBUS_SWEEP_SWEEP_HH
