@@ -10,25 +10,40 @@
  *
  *  - tick_chain: one self-rescheduling event, the pattern behind the
  *    mediator's clock generation -- pure schedule/execute cost;
+ *  - tick_train: the same edge stream carried by kernel edge trains
+ *    (scheduleEdgeTrain): one slab event per chunk of edges instead
+ *    of one per edge;
  *  - cancel_heavy: every event schedules a timeout it then cancels,
  *    the pattern behind ring checks and watchdogs;
  *  - net_chain: the real wire stack, 14 forwarding hops (a plausible
- *    ring), measuring delivered edges through Net fanout.
+ *    ring), measuring delivered edges through Net fanout;
+ *  - net_train: the same ring driven rhythmically with net-level
+ *    edge-train batching enabled (the MBus CLK broadcast shape).
+ *
+ * Alongside throughput, the bench measures events/bit -- kernel
+ * events retired per delivered edge, the scheduler-operation metric
+ * the edge-train work reduces -- before (discrete) and after
+ * (trains) on the tick and forwarding workloads.
  *
  * Results print as a table and are written as machine-readable JSON
- * (default BENCH_kernel.json) for the bench trajectory.
+ * (default BENCH_kernel.json). The JSON keeps a "runs" history:
+ * existing entries in the output file are preserved and the new run
+ * is appended, so the perf trajectory accumulates across commits.
  *
  * Usage: bench_kernel [--smoke] [--out PATH]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <memory>
 #include <queue>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -246,6 +261,31 @@ runTickChainSlab(std::uint64_t n)
 }
 
 /**
+ * The train flavor of the tick chain: the same number of edges, but
+ * carried by self edge trains (the mediator's clock-generation shape
+ * after the batching refactor). The chunked driver is shared with
+ * perf_gate (bench_util.hh) so the regression baseline measures
+ * exactly this workload.
+ */
+double
+runTickTrainSlab(std::uint64_t n, double *eventsPerEdge = nullptr)
+{
+    mbus::sim::Simulator sim;
+    mbus::benchutil::TrainTickDriver sink;
+    sink.sim = &sim;
+    sink.remaining = n;
+    auto t0 = Clock::now();
+    sink.arm();
+    sim.run();
+    double rate = static_cast<double>(n) / secondsSince(t0);
+    if (eventsPerEdge) {
+        *eventsPerEdge = static_cast<double>(sim.eventsExecuted()) /
+                         static_cast<double>(n);
+    }
+    return rate;
+}
+
+/**
  * Schedule/cancel churn: each tick schedules a "timeout" two periods
  * out and cancels the one it scheduled last time (the ring-check /
  * watchdog pattern). Counts both the tick and the timeout handling.
@@ -307,12 +347,112 @@ runNetChain(std::uint64_t rounds)
     return events / secondsSince(t0);
 }
 
+/**
+ * The MBus hot path proper: the shared 14-hop forwarding ring
+ * (bench_util.hh) driven rhythmically, with or without net-level
+ * edge-train batching. Reports delivered edges/second; optionally
+ * kernel events per delivered edge -- the events/bit metric.
+ */
+double
+runNetRing(std::uint64_t edges, bool trains,
+           double *eventsPerEdge = nullptr)
+{
+    mbus::benchutil::ForwardRing ring(trains);
+    std::uint64_t left = edges;
+    auto t0 = Clock::now();
+    bool first = false;
+    while (left > 0) {
+        auto chunk = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(left, 100000));
+        ring.pump(chunk, first);
+        first = chunk % 2 ? !first : first;
+        left -= chunk;
+    }
+    double delivered = static_cast<double>(edges) *
+                       mbus::benchutil::ForwardRing::kHops;
+    double rate = delivered / secondsSince(t0);
+    if (eventsPerEdge)
+        *eventsPerEdge = ring.eventsPerEdge(edges);
+    return rate;
+}
+
 struct Row
 {
     std::string name;
     double legacyRate;
     double newRate;
 };
+
+/** One events/bit data point: kernel events per delivered edge,
+ *  discrete path vs edge-train path. Deterministic (no wall clock). */
+struct EpbRow
+{
+    std::string name;
+    double before;
+    double after;
+};
+
+/**
+ * Pull the existing "runs" history entries (one per line) out of a
+ * previous BENCH_kernel.json so the new run can be appended rather
+ * than overwriting the trajectory. Returns an empty list when the
+ * file is missing or predates the history format.
+ */
+std::vector<std::string>
+readRunHistory(const std::string &path)
+{
+    std::vector<std::string> entries;
+    std::ifstream in(path);
+    if (!in)
+        return entries;
+    std::string line;
+    bool inRuns = false;
+    // Legacy (pre-history) files carry one run at the top level;
+    // convert it into the first history entry so the data point from
+    // earlier commits survives the format change.
+    std::string legacyMode = "full";
+    std::string legacySpeedups;
+    while (std::getline(in, line)) {
+        if (line.find("\"runs\": [") != std::string::npos) {
+            inRuns = true;
+            continue;
+        }
+        if (!inRuns) {
+            std::size_t m = line.find("\"mode\": \"");
+            if (m != std::string::npos) {
+                std::string rest = line.substr(m + 9);
+                legacyMode = rest.substr(0, rest.find('"'));
+            }
+            std::size_t n = line.find("{\"name\": \"");
+            std::size_t s = line.find("\"speedup\": ");
+            if (n != std::string::npos && s != std::string::npos) {
+                std::string rest = line.substr(n + 10);
+                std::string name = rest.substr(0, rest.find('"'));
+                double speedup =
+                    std::strtod(line.c_str() + s + 11, nullptr);
+                std::ostringstream os;
+                os << (legacySpeedups.empty() ? "" : ", ") << "\""
+                   << name << "\": " << speedup;
+                legacySpeedups += os.str();
+            }
+            continue;
+        }
+        std::size_t start = line.find('{');
+        if (start == std::string::npos)
+            break; // "]" (or anything else) closes the history.
+        std::string entry = line.substr(start);
+        while (!entry.empty() &&
+               (entry.back() == ',' || entry.back() == ' '))
+            entry.pop_back();
+        entries.push_back(std::move(entry));
+    }
+    if (entries.empty() && !legacySpeedups.empty()) {
+        entries.push_back("{\"mode\": \"" + legacyMode +
+                          "\", \"speedups\": {" + legacySpeedups +
+                          "}}");
+    }
+    return entries;
+}
 
 /** Best of three runs: damps scheduler/neighbour noise the same
  *  way for both kernels. */
@@ -355,6 +495,9 @@ main(int argc, char **argv)
     rows.push_back({"tick_chain",
                     best3([&] { return runTickChainLegacy(kChain); }),
                     best3([&] { return runTickChainSlab(kChain); })});
+    rows.push_back({"tick_train",
+                    best3([&] { return runTickChainLegacy(kChain); }),
+                    best3([&] { return runTickTrainSlab(kChain); })});
     rows.push_back(
         {"cancel_heavy",
          best3([&] {
@@ -367,6 +510,25 @@ main(int argc, char **argv)
          })});
 
     double netRate = best3([&] { return runNetChain(kRounds); });
+    const std::uint64_t kRingEdges = smoke ? 20000 : 200000;
+    double ringDiscreteRate =
+        best3([&] { return runNetRing(kRingEdges, false); });
+    double ringTrainRate =
+        best3([&] { return runNetRing(kRingEdges, true); });
+
+    // events/bit: kernel events retired per delivered edge --
+    // deterministic, measured once on a fixed-size run.
+    std::vector<EpbRow> epb;
+    {
+        double tickAfter = 0;
+        (void)runTickTrainSlab(100000, &tickAfter);
+        // Discrete path: one kernel event per tick, by construction.
+        epb.push_back({"tick", 1.0, tickAfter});
+        double fwdBefore = 0, fwdAfter = 0;
+        (void)runNetRing(10000, false, &fwdBefore);
+        (void)runNetRing(10000, true, &fwdAfter);
+        epb.push_back({"forward_ring", fwdBefore, fwdAfter});
+    }
 
     // Pool behaviour on a steady-state run (for the JSON record).
     mbus::sim::Simulator poolSim;
@@ -389,11 +551,46 @@ main(int argc, char **argv)
     }
     std::printf("%-14s %15s %15.0f %9s\n", "net_chain", "-", netRate,
                 "-");
+    std::printf("%-14s %15.0f %15.0f %8.2fx\n", "forward_ring",
+                ringDiscreteRate, ringTrainRate,
+                ringTrainRate / ringDiscreteRate);
+
+    mbus::benchutil::section(
+        "events/bit: kernel events per delivered edge (lower is "
+        "better; deterministic)");
+    std::printf("%-14s %12s %12s %11s\n", "workload", "discrete",
+                "trains", "reduction");
+    for (const EpbRow &r : epb) {
+        std::printf("%-14s %12.4f %12.4f %10.2fx\n", r.name.c_str(),
+                    r.before, r.after, r.before / r.after);
+    }
+
     std::printf("\npool: slots=%zu heap-spilled callbacks=%llu "
                 "(steady-state 10k-event run)\n",
                 poolSim.queue().slabSlots(),
                 static_cast<unsigned long long>(
                     poolSim.queue().heapCallbackCount()));
+
+    // JSON record. The current run's numbers stay at the top level
+    // (latest-run consumers keep working); the "runs" array carries
+    // the whole trajectory, with any prior entries in the output file
+    // preserved and this run appended.
+    std::vector<std::string> history = readRunHistory(outPath);
+    std::ostringstream runEntry;
+    runEntry << "{\"mode\": \"" << (smoke ? "smoke" : "full")
+             << "\", \"events_per_bit\": {";
+    for (std::size_t i = 0; i < epb.size(); ++i) {
+        runEntry << (i ? ", " : "") << "\"" << epb[i].name
+                 << "\": {\"before\": " << epb[i].before
+                 << ", \"after\": " << epb[i].after << "}";
+    }
+    runEntry << "}, \"speedups\": {";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        runEntry << (i ? ", " : "") << "\"" << rows[i].name
+                 << "\": " << rows[i].newRate / rows[i].legacyRate;
+    }
+    runEntry << "}}";
+    history.push_back(runEntry.str());
 
     std::ofstream json(outPath);
     if (!json) {
@@ -411,12 +608,30 @@ main(int argc, char **argv)
              << ", \"speedup\": " << r.newRate / r.legacyRate << "}"
              << (i + 1 < rows.size() ? ",\n" : "\n");
     }
+    json << "  ],\n  \"events_per_bit\": [\n";
+    for (std::size_t i = 0; i < epb.size(); ++i) {
+        const EpbRow &r = epb[i];
+        json << "    {\"name\": \"" << r.name
+             << "\", \"before\": " << r.before
+             << ", \"after\": " << r.after
+             << ", \"reduction\": " << r.before / r.after << "}"
+             << (i + 1 < epb.size() ? ",\n" : "\n");
+    }
     json << "  ],\n  \"net_chain_events_per_sec\": " << netRate
-         << ",\n  \"pool\": {\"slab_slots\": "
+         << ",\n  \"forward_ring_events_per_sec\": {\"discrete\": "
+         << ringDiscreteRate << ", \"trains\": " << ringTrainRate
+         << "},\n  \"pool\": {\"slab_slots\": "
          << poolSim.queue().slabSlots()
          << ", \"heap_spilled_callbacks\": "
-         << poolSim.queue().heapCallbackCount() << "}\n}\n";
-    std::printf("\nwrote %s\n", outPath.c_str());
+         << poolSim.queue().heapCallbackCount() << "},\n"
+         << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < history.size(); ++i) {
+        json << "    " << history[i]
+             << (i + 1 < history.size() ? ",\n" : "\n");
+    }
+    json << "  ]\n}\n";
+    std::printf("\nwrote %s (%zu run%s in history)\n", outPath.c_str(),
+                history.size(), history.size() == 1 ? "" : "s");
 
     // Regression gate for CI. Wall-clock comparisons on shared
     // runners are noisy, so only a collapse below half the seed
@@ -435,6 +650,17 @@ main(int argc, char **argv)
                          "WARN: %s slower than seed kernel this run "
                          "(likely runner noise)\n",
                          r.name.c_str());
+        }
+    }
+    // events/bit is deterministic, so this gate is exact: trains must
+    // at least halve the kernel events per edge on covered workloads.
+    for (const EpbRow &r : epb) {
+        if (r.after * 2.0 > r.before) {
+            std::fprintf(stderr,
+                         "FAIL: %s events/bit only %f -> %f (< 2x "
+                         "reduction)\n",
+                         r.name.c_str(), r.before, r.after);
+            return 1;
         }
     }
     return 0;

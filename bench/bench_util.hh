@@ -9,7 +9,12 @@
 #define MBUS_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "wire/net.hh"
 
 namespace mbus {
 namespace benchutil {
@@ -30,6 +35,107 @@ section(const std::string &name)
 {
     std::printf("\n--- %s ---\n", name.c_str());
 }
+
+// --- Shared edge-train workload harnesses ---------------------------
+//
+// bench_kernel (wall-clock throughput) and perf_gate (deterministic
+// events/bit regression gate) must measure the *same* workloads, or
+// the checked-in baseline silently drifts away from what the bench
+// documents. Both build on these.
+
+/**
+ * Chunked self-train tick driver: the mediator's clock-generation
+ * shape. Delivers `remaining` edges in trains of up to kChunk,
+ * re-arming the next chunk from within the last edge's delivery.
+ */
+struct TrainTickDriver final : sim::EdgeSink
+{
+    static constexpr std::uint32_t kChunk = 1024;
+
+    sim::Simulator *sim = nullptr;
+    std::uint64_t remaining = 0;
+    std::uint32_t chunkLeft = 0;
+
+    void
+    arm()
+    {
+        chunkLeft = remaining < kChunk
+                        ? static_cast<std::uint32_t>(remaining)
+                        : kChunk;
+        sim->scheduleEdgeTrain(1000, 1000, chunkLeft, *this, true);
+    }
+
+    void
+    onEdge(bool) override
+    {
+        --remaining;
+        if (--chunkLeft == 0 && remaining > 0)
+            arm();
+    }
+};
+
+/**
+ * A kHops-hop forwarding ring of Nets driven rhythmically (one edge
+ * per half-period, the forwarded CLK broadcast shape), with or
+ * without net-level edge-train batching.
+ */
+struct ForwardRing
+{
+    static constexpr int kHops = 14;
+    static constexpr std::uint32_t kNetTrainLen = 64;
+    static constexpr sim::SimTime kHalfPeriod =
+        1250 * sim::kNanosecond;
+
+    sim::Simulator simulator;
+    std::vector<std::unique_ptr<wire::Net>> nets;
+
+    struct Forwarder final : wire::EdgeListener
+    {
+        wire::Net *next = nullptr;
+        void onNetEdge(wire::Net &, bool v) override { next->drive(v); }
+    };
+    std::vector<Forwarder> fwd{kHops - 1};
+
+    struct Driver final : sim::EdgeSink
+    {
+        wire::Net *head = nullptr;
+        void onEdge(bool v) override { head->drive(v); }
+    } driver;
+
+    explicit ForwardRing(bool trains)
+    {
+        nets.reserve(kHops);
+        for (int i = 0; i < kHops; ++i) {
+            nets.push_back(std::make_unique<wire::Net>(
+                simulator, "hop" + std::to_string(i),
+                10 * sim::kNanosecond, true));
+            if (trains)
+                nets.back()->enableEdgeTrains(kNetTrainLen);
+        }
+        for (int i = 0; i + 1 < kHops; ++i) {
+            fwd[static_cast<std::size_t>(i)].next = nets[i + 1].get();
+            nets[i]->listen(wire::Edge::Any, fwd[i]);
+        }
+        driver.head = nets[0].get();
+    }
+
+    /** Drive @p edges rhythmic edges into hop 0 and run to idle. */
+    void
+    pump(std::uint32_t edges, bool firstValue = false)
+    {
+        simulator.scheduleEdgeTrain(kHalfPeriod, kHalfPeriod, edges,
+                                    driver, firstValue);
+        simulator.run();
+    }
+
+    /** Kernel events retired per delivered edge so far. */
+    double
+    eventsPerEdge(std::uint64_t edges) const
+    {
+        return static_cast<double>(simulator.eventsExecuted()) /
+               (static_cast<double>(edges) * kHops);
+    }
+};
 
 } // namespace benchutil
 } // namespace mbus

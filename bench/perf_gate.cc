@@ -1,0 +1,185 @@
+/**
+ * @file
+ * CI perf-smoke gate for the events/bit trajectory.
+ *
+ * Wall-clock benchmarks are too noisy to gate a shared runner, but
+ * events/bit -- kernel events retired per delivered wire edge/bit --
+ * is a pure function of the simulation, bit-identical on every
+ * machine. This gate measures it on:
+ *
+ *  - tick: the mediator's clock-generation shape as a kernel edge
+ *    train (events per delivered edge);
+ *  - forward_ring: a 14-hop rhythmic forwarding ring with net-level
+ *    train batching (events per delivered edge);
+ *  - fig9_n4 / fig9_n10: two real fig9 sweep cells (a full
+ *    MBusSystem at 99.9% of the conservative max clock), events per
+ *    completed wire data bit;
+ *
+ * and fails if any metric regresses more than 10% over the
+ * checked-in baseline (bench/perf_baseline.json). Regenerate the
+ * baseline with --write-baseline after an intentional change.
+ *
+ * Usage: perf_gate [--baseline PATH] [--write-baseline PATH]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "sweep/sweep.hh"
+
+using namespace mbus;
+
+namespace {
+
+struct Metric
+{
+    std::string name;
+    double value = 0;
+};
+
+/** Conservative fig9 max clock (mirrors analysis::conservativeMaxClockHz
+ *  without dragging the analysis lib into the gate's hot loop). */
+double
+fig9ClockHz(int nodes)
+{
+    double hop_s = 10e-9;
+    return 0.999 / (2.0 * hop_s * (nodes + 2.0));
+}
+
+double
+tickEventsPerEdge()
+{
+    mbus::sim::Simulator simulator;
+    benchutil::TrainTickDriver sink;
+    sink.sim = &simulator;
+    sink.remaining = 100000;
+    sink.arm();
+    simulator.run();
+    return static_cast<double>(simulator.eventsExecuted()) / 100000.0;
+}
+
+double
+forwardRingEventsPerEdge()
+{
+    const std::uint32_t kEdges = 20000;
+    benchutil::ForwardRing ring(/*trains=*/true);
+    ring.pump(kEdges);
+    return ring.eventsPerEdge(kEdges);
+}
+
+/** The 2-cell fig9 smoke sweep: events per completed wire data bit. */
+std::vector<Metric>
+fig9EventsPerBit()
+{
+    std::vector<sweep::ScenarioSpec> grid;
+    for (int n : {4, 10}) {
+        sweep::ScenarioSpec s;
+        s.name = "fig9_n" + std::to_string(n);
+        s.nodes = n;
+        s.busClockHz = fig9ClockHz(n);
+        s.traffic = sweep::TrafficPattern::SingleSender;
+        s.messages = 2;
+        s.payloadBytes = 4;
+        grid.push_back(std::move(s));
+    }
+    sweep::SweepConfig cfg;
+    cfg.threads = 2;
+    sweep::SweepResult result = sweep::SweepDriver(cfg).run(grid);
+    std::vector<Metric> out;
+    for (const sweep::CellResult &c : result.cells()) {
+        if (c.stats.wedged || c.stats.eventsPerBit <= 0) {
+            std::fprintf(stderr, "FAIL: %s produced no events/bit\n",
+                         c.spec.name.c_str());
+            std::exit(1);
+        }
+        out.push_back({c.spec.name, c.stats.eventsPerBit});
+    }
+    return out;
+}
+
+/** Flat {"name": value, ...} reader; tolerant of whitespace. */
+bool
+readBaseline(const std::string &path, const std::string &key,
+             double &value)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+    std::string needle = "\"" + key + "\":";
+    std::size_t at = text.find(needle);
+    if (at == std::string::npos)
+        return false;
+    value = std::strtod(text.c_str() + at + needle.size(), nullptr);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baselinePath = "bench/perf_baseline.json";
+    std::string writePath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc)
+            baselinePath = argv[++i];
+        else if (std::strcmp(argv[i], "--write-baseline") == 0 &&
+                 i + 1 < argc)
+            writePath = argv[++i];
+    }
+
+    std::vector<Metric> metrics;
+    metrics.push_back({"tick", tickEventsPerEdge()});
+    metrics.push_back({"forward_ring", forwardRingEventsPerEdge()});
+    for (Metric &m : fig9EventsPerBit())
+        metrics.push_back(m);
+
+    if (!writePath.empty()) {
+        std::ofstream out(writePath);
+        out << "{\n";
+        for (std::size_t i = 0; i < metrics.size(); ++i) {
+            out << "  \"" << metrics[i].name
+                << "\": " << metrics[i].value
+                << (i + 1 < metrics.size() ? ",\n" : "\n");
+        }
+        out << "}\n";
+        std::printf("wrote baseline %s\n", writePath.c_str());
+        return 0;
+    }
+
+    std::printf("%-14s %14s %14s %9s\n", "metric", "events/bit",
+                "baseline", "ratio");
+    bool fail = false;
+    for (const Metric &m : metrics) {
+        double base = 0;
+        if (!readBaseline(baselinePath, m.name, base)) {
+            std::fprintf(stderr,
+                         "FAIL: no baseline for %s in %s (regenerate "
+                         "with --write-baseline)\n",
+                         m.name.c_str(), baselinePath.c_str());
+            return 1;
+        }
+        double ratio = base > 0 ? m.value / base : 0;
+        std::printf("%-14s %14.5f %14.5f %8.3fx\n", m.name.c_str(),
+                    m.value, base, ratio);
+        if (m.value > base * 1.10) {
+            std::fprintf(stderr,
+                         "FAIL: %s events/bit regressed >10%% "
+                         "(%f vs baseline %f)\n",
+                         m.name.c_str(), m.value, base);
+            fail = true;
+        }
+    }
+    if (!fail)
+        std::printf("perf gate OK (all metrics within 10%% of "
+                    "baseline)\n");
+    return fail ? 1 : 0;
+}

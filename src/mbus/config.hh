@@ -52,6 +52,24 @@ struct SystemConfig
     sim::SimTime extraRingLatency = 0;
 
     /**
+     * Batched edge delivery: coalesce rhythmic same-wire edge runs
+     * (the forwarded CLK broadcast, the mediator's own tick and
+     * ring-continuity checks) into single kernel edge-train events.
+     * Deliveries, VCD bytes and all protocol semantics are identical
+     * to the discrete path -- trains confirm edge-by-edge and split
+     * on any glitch, interjection or retiming -- only the kernel
+     * events/bit drops. Off switches every train path at once (A/B
+     * equivalence testing, debugging).
+     */
+    bool edgeTrains = true;
+
+    /** Maximum edges per net-level speculative train. */
+    std::uint32_t trainMaxEdges = 32;
+
+    /** Half-period edges per mediator tick/ring-check train chunk. */
+    std::uint32_t tickTrainEdges = 64;
+
+    /**
      * Mutable topological priority (Sec 7 discussion): when true,
      * the arbitration ring break is provided by a designated member
      * node's always-on wire logic instead of the mediator, making

@@ -7,7 +7,25 @@ namespace bus {
 
 Mediator::Mediator(Context ctx) : ctx_(std::move(ctx))
 {
+    tickSink_.med = this;
+    checkSink_.med = this;
     ctx_.dataIn.listen(wire::Edge::Any, *this);
+}
+
+bool
+Mediator::useTrains() const
+{
+    return ctx_.cfg.edgeTrains && ctx_.cfg.hopDelay > 0 &&
+           ctx_.cfg.tickTrainEdges > 0;
+}
+
+sim::SimTime
+Mediator::ringCheckDelay() const
+{
+    sim::SimTime ring_delay =
+        static_cast<sim::SimTime>(ctx_.ringSize) * ctx_.cfg.hopDelay +
+        ctx_.cfg.extraRingLatency;
+    return ring_delay + 2 * ctx_.cfg.hopDelay;
 }
 
 void
@@ -81,25 +99,29 @@ Mediator::startClocking()
         ctx_.link.mediatorOwnsData = true;
         ctx_.dataCtl.drive(true);
     }
-    driveClockEdge();
+    if (useTrains()) {
+        // First edge inline (as the discrete path drives it), then
+        // the rest of the chunk rides the tick + ring-check trains.
+        onTickEdge(!clkLevel_);
+        if (state_ == State::Clocking)
+            armTickTrain();
+    } else {
+        driveClockEdge();
+    }
 }
 
 void
-Mediator::driveClockEdge()
+Mediator::onTickEdge(bool level)
 {
-    if (state_ != State::Clocking)
-        return;
-    clkLevel_ = !clkLevel_;
-    ctx_.clkCtl.drive(clkLevel_);
+    clkLevel_ = level;
+    ctx_.clkCtl.drive(level);
 
-    if (clkLevel_) {
+    if (level) {
         ++rising_;
         ++stats_.clockCycles;
         ctx_.ledger.charge(ctx_.nodeId, power::EnergyCategory::Mediator,
                            ctx_.energy.mediatorPerCycle());
-        afterRisingEdge(rising_);
-        if (state_ != State::Clocking)
-            return; // Interjection began.
+        afterRisingEdge(rising_); // May begin an interjection.
     } else {
         ++falling_;
         if (falling_ == 2 && medDrivingData_) {
@@ -109,10 +131,67 @@ Mediator::driveClockEdge()
             ctx_.dataCtl.forward();
         }
     }
+}
+
+void
+Mediator::driveClockEdge()
+{
+    if (state_ != State::Clocking)
+        return;
+    onTickEdge(!clkLevel_);
+    if (state_ != State::Clocking)
+        return; // Interjection began.
 
     scheduleRingCheck(clkLevel_);
     clockEvent_ =
         ctx_.sim.schedule(period() / 2, [this] { driveClockEdge(); });
+}
+
+void
+Mediator::armTickTrain()
+{
+    armedHalfPeriod_ = period() / 2;
+    tickEdgesLeft_ = ctx_.cfg.tickTrainEdges;
+    // The ring-check train covers the edge just driven plus the whole
+    // tick chunk; arming it first keeps the discrete tie-break order
+    // (each edge's check was scheduled before the next tick).
+    checkEvent_ = ctx_.sim.scheduleEdgeTrain(
+        ringCheckDelay(), armedHalfPeriod_, tickEdgesLeft_ + 1,
+        checkSink_, clkLevel_);
+    clockEvent_ = ctx_.sim.scheduleEdgeTrain(
+        armedHalfPeriod_, armedHalfPeriod_, tickEdgesLeft_, tickSink_,
+        !clkLevel_);
+}
+
+void
+Mediator::onTrainTick(bool level)
+{
+    if (state_ != State::Clocking)
+        return;
+    if (period() / 2 != armedHalfPeriod_) {
+        // The clock was retimed mid-transaction (config broadcast):
+        // drop both trains and re-arm at the new period, exactly
+        // where the discrete path would start spacing edges anew.
+        clockEvent_.cancel();
+        checkEvent_.cancel();
+        onTickEdge(level);
+        if (state_ == State::Clocking)
+            armTickTrain();
+        return;
+    }
+    const bool refill = --tickEdgesLeft_ == 0;
+    onTickEdge(level);
+    if (refill && state_ == State::Clocking)
+        armTickTrain();
+}
+
+void
+Mediator::onRingCheck(bool expected)
+{
+    if (state_ != State::Clocking)
+        return;
+    if (ctx_.clkIn.value() != expected)
+        beginInterjection(InterjectReason::RingBreak);
 }
 
 void
@@ -159,10 +238,7 @@ void
 Mediator::scheduleRingCheck(bool expected)
 {
     std::uint64_t epoch = checkEpoch_;
-    sim::SimTime ring_delay =
-        static_cast<sim::SimTime>(ctx_.ringSize) * ctx_.cfg.hopDelay +
-        ctx_.cfg.extraRingLatency;
-    ctx_.sim.schedule(ring_delay + 2 * ctx_.cfg.hopDelay,
+    ctx_.sim.schedule(ringCheckDelay(),
                       [this, expected, epoch] {
                           if (epoch != checkEpoch_ ||
                               state_ != State::Clocking) {
@@ -196,6 +272,7 @@ Mediator::beginInterjection(InterjectReason reason)
 {
     ++checkEpoch_;
     clockEvent_.cancel();
+    checkEvent_.cancel();
     reason_ = reason;
     if (reason == InterjectReason::RingBreak)
         ++stats_.interjections;
@@ -304,15 +381,13 @@ void
 Mediator::finishTransaction()
 {
     // Flush the ring, then release everything and go back to sleep.
-    sim::SimTime ring_delay =
-        static_cast<sim::SimTime>(ctx_.ringSize) * ctx_.cfg.hopDelay +
-        ctx_.cfg.extraRingLatency;
-    ctx_.sim.schedule(ring_delay + 2 * ctx_.cfg.hopDelay, [this] {
+    ctx_.sim.schedule(ringCheckDelay(), [this] {
         medDrivingData_ = false;
         ctx_.link.mediatorOwnsData = false;
         ctx_.dataCtl.forward();
         ctx_.clkCtl.forward();
         ++checkEpoch_;
+        checkEvent_.cancel();
         state_ = State::Asleep;
         if (onIdle_)
             onIdle_();

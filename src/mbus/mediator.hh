@@ -129,6 +129,48 @@ class Mediator : private wire::EdgeListener
     void afterRisingEdge(std::uint32_t r);
     void watchdogLatch();
     void scheduleRingCheck(bool expected);
+
+    // --- Edge-train clock generation (SystemConfig::edgeTrains) ----
+    //
+    // With trains on, the per-half-period self-reschedule chain and
+    // the one-closure-per-edge ring checks become two kernel edge
+    // trains per chunk of tickTrainEdges edges: a self tick train
+    // delivering counted clock edges to onTrainTick(), and a
+    // ring-check train delivering alternating expected levels to
+    // onRingCheck() one ring flush after each edge. Per-edge protocol
+    // work (watchdog sampling, arbitration handover, interjection
+    // entry) is unchanged; both trains are cancelled wherever the
+    // discrete path bumped checkEpoch_.
+
+    /** True when this system runs the train-based clock path. */
+    bool useTrains() const;
+
+    /** One clock edge: drive, count, per-edge protocol work. */
+    void onTickEdge(bool level);
+
+    /** Tick-train delivery: onTickEdge plus chunk refill. */
+    void onTrainTick(bool level);
+
+    /** Ring-continuity check (train flavor of scheduleRingCheck). */
+    void onRingCheck(bool expected);
+
+    /** Arm the next tick + ring-check train chunk from "now". */
+    void armTickTrain();
+
+    /** Ring flush latency: when a driven edge must be back at clkIn. */
+    sim::SimTime ringCheckDelay() const;
+
+    struct TickSink final : sim::EdgeSink
+    {
+        Mediator *med = nullptr;
+        void onEdge(bool value) override { med->onTrainTick(value); }
+    };
+
+    struct CheckSink final : sim::EdgeSink
+    {
+        Mediator *med = nullptr;
+        void onEdge(bool value) override { med->onRingCheck(value); }
+    };
     void beginInterjection(InterjectReason reason);
     void interjectionToggle();
     void beginControl();
@@ -152,6 +194,13 @@ class Mediator : private wire::EdgeListener
     std::uint32_t falling_ = 0;
     sim::EventHandle clockEvent_;
     std::uint64_t checkEpoch_ = 0;
+
+    // Train-based clock generation.
+    TickSink tickSink_;
+    CheckSink checkSink_;
+    sim::EventHandle checkEvent_;
+    std::uint32_t tickEdgesLeft_ = 0;
+    sim::SimTime armedHalfPeriod_ = 0;
 
     // Arbitration-phase DATA ownership.
     bool medDrivingData_ = false;

@@ -100,6 +100,20 @@ MBusSystem::finalize()
         }
     }
 
+    // Batched edge delivery: ring segments coalesce rhythmic edge
+    // runs (the forwarded CLK broadcast, steady alternating DATA
+    // runs) into kernel edge trains. Confirm-or-split keeps every
+    // delivery bit-identical to the discrete path.
+    if (cfg_.edgeTrains) {
+        for (auto &seg : clkSegs_)
+            seg->enableEdgeTrains(cfg_.trainMaxEdges);
+        for (auto &seg : dataSegs_)
+            seg->enableEdgeTrains(cfg_.trainMaxEdges);
+        for (auto &lane : laneSegs_)
+            for (auto &seg : lane)
+                seg->enableEdgeTrains(cfg_.trainMaxEdges);
+    }
+
     // Switching-energy taps: each transition on a segment charges the
     // driving chip (output pad + wire + next chip's input pad).
     auto tap = [this](wire::Net &seg, std::size_t i,

@@ -26,13 +26,79 @@ EventQueue::cancel(std::uint32_t slot, std::uint64_t seq)
     if (!isPending(slot, seq))
         return;
     Event &ev = slotRef(slot);
-    ev.fn.reset();
-    ev.liveSeq = 0;
-    ev.nextFree = freeHead_;
-    freeHead_ = slot;
-    --live_;
-    // The heap entry stays behind; its seq no longer tags the
-    // slot, so it is skipped (and dropped) at pop time.
+    if (ev.trainSink) {
+        // Refund every undelivered edge in one step: self trains had
+        // all of them in live accounting; a speculative train only
+        // its confirmed head (if queued). A train cancelled from
+        // inside its own final-edge dispatch still matches here
+        // (trainRemaining already 0, sink tag not yet cleared) with
+        // nothing left to refund -- the dispatch path sees the
+        // occupancy change and skips its own retirement.
+        pendingTrainEdges_ -= ev.trainRemaining;
+        if (ev.trainSpeculative)
+            live_ -= ev.trainHeadQueued ? 1 : 0;
+        else
+            live_ -= ev.trainRemaining;
+        clearTrain(ev);
+    } else {
+        ev.fn.reset();
+        --live_;
+    }
+    ev.occupiedSeq = 0;
+    ev.entrySeq = 0;
+    releaseSlot(slot);
+    // Any heap entry stays behind; its seq no longer tags the slot,
+    // so it is skipped (and dropped) at pop time.
+}
+
+bool
+EventQueue::confirmTrain(std::uint32_t slot, std::uint64_t seq)
+{
+    if (!isPending(slot, seq))
+        return false;
+    Event &ev = slotRef(slot);
+    if (ev.trainRemaining == 0 || !ev.trainSpeculative ||
+        ev.trainHeadQueued) {
+        return false;
+    }
+    const std::uint64_t fresh = ++nextSeq_;
+    ev.entrySeq = fresh;
+    ev.trainHeadQueued = true;
+    ++live_;
+    heap_.push_back(HeapEntry{ev.trainNextWhen, fresh, slot});
+    siftUp(heap_.size() - 1);
+    return true;
+}
+
+std::uint32_t
+EventQueue::truncateTrainToHead(std::uint32_t slot, std::uint64_t seq)
+{
+    if (!isPending(slot, seq))
+        return 0;
+    Event &ev = slotRef(slot);
+    if (ev.trainRemaining == 0)
+        return 0;
+    if (ev.trainHeadQueued) {
+        // The confirmed in-flight head still fires (transport-delay
+        // semantics: its drive already happened); everything after it
+        // is dropped and refunded.
+        const std::uint32_t dropped = ev.trainRemaining - 1;
+        pendingTrainEdges_ -= dropped;
+        if (!ev.trainSpeculative)
+            live_ -= dropped;
+        ev.trainRemaining = 1;
+        return dropped;
+    }
+    // Dormant: nothing is committed; drop the whole train.
+    const std::uint32_t dropped = ev.trainRemaining;
+    pendingTrainEdges_ -= dropped;
+    if (!ev.trainSpeculative)
+        live_ -= dropped;
+    clearTrain(ev);
+    ev.occupiedSeq = 0;
+    ev.entrySeq = 0;
+    releaseSlot(slot);
+    return dropped;
 }
 
 SimTime

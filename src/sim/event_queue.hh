@@ -21,6 +21,37 @@
  * performs zero heap allocations: slots, heap storage and callback
  * bytes are all reused.
  *
+ * Edge trains: in addition to plain one-shot events, the queue can
+ * hold an *edge train* -- one slab event standing for up to 2^32
+ * alternating edge deliveries to an EdgeSink, spaced a fixed period
+ * apart. The train occupies one slot and (at most) one heap entry
+ * for its whole life; each dispatch delivers the next edge and
+ * advances the stored state in place, so the kernel-event cost of a
+ * K-edge train is O(1) instead of O(K). Two flavors:
+ *
+ *  - a *self* train (scheduleEdgeTrain) fires every edge
+ *    unconditionally -- the shape of a clock generator that owns its
+ *    own rhythm. After each delivery the train re-enters the heap
+ *    with a fresh sequence number, drawn right after the sink's
+ *    callback returns: the same tie-break position a callback that
+ *    reschedules itself as its last statement would produce, so
+ *    same-time ordering is identical to the discrete equivalent.
+ *
+ *  - a *speculative* train (scheduleSpeculativeEdgeTrain) predicts
+ *    edges that some upstream process is expected to keep producing.
+ *    Only a *confirmed* head edge ever sits in the heap; after it
+ *    fires the train goes dormant until confirmTrain() re-arms the
+ *    next edge (drawing its seq at the confirmation moment -- again
+ *    exactly where the discrete equivalent would draw it). An edge
+ *    that is never confirmed never fires, so a mispredicted train is
+ *    dropped, never replayed: semantics stay bit-identical to
+ *    discrete scheduling by construction.
+ *
+ * Accounting: a train counts as ONE executed kernel event (on its
+ * first delivered edge); per-edge deliveries are tallied separately
+ * in trainEdgesDelivered(). Cancelling a train refunds every
+ * remaining (undelivered) edge from live accounting in one step.
+ *
  * The hot path (schedule / step) is header-inline by design: event
  * dispatch is the single hottest code in the simulator and must not
  * pay a cross-TU call per event.
@@ -47,17 +78,43 @@ class EventQueue;
  * Handles are cheap to copy and may outlive the event; cancelling an
  * already-fired or already-cancelled event is a harmless no-op. A
  * handle must not be used after its EventQueue has been destroyed.
+ *
+ * A handle to an edge train stays valid for the whole train: cancel()
+ * drops every undelivered edge (refunding them from live accounting),
+ * and the train-specific calls below manage the speculative life
+ * cycle.
  */
 class EventHandle
 {
   public:
     EventHandle() = default;
 
-    /** Cancel the referenced event if it has not fired yet. */
+    /** Cancel the referenced event (all remaining train edges). */
     inline void cancel();
 
-    /** @return true if this handle references a still-pending event. */
+    /** @return true if this handle references a still-pending event
+     *  (for trains: any undelivered edge remains, queued or dormant). */
     inline bool pending() const;
+
+    /**
+     * Confirm the next edge of a dormant speculative train: the edge
+     * enters the heap now, with a tie-break sequence drawn at this
+     * call (the position a discrete schedule here would get).
+     *
+     * @return false if the handle is stale, the train is exhausted,
+     *         or its head is already queued (caller should fall back
+     *         to discrete scheduling).
+     */
+    inline bool confirmTrainEdge();
+
+    /**
+     * Split a speculative train: keep the confirmed in-flight head
+     * (if any) -- it still fires, preserving transport-delay
+     * semantics -- and drop every unconfirmed edge after it.
+     *
+     * @return the number of edges dropped (refunded).
+     */
+    inline std::uint32_t truncateTrainToHead();
 
   private:
     friend class EventQueue;
@@ -107,22 +164,15 @@ class EventQueue
     EventHandle
     schedule(SimTime when, F &&fn)
     {
-        std::uint32_t slot;
-        if (freeHead_ != kNoSlot) {
-            slot = freeHead_;
-            freeHead_ = slotRef(slot).nextFree;
-        } else {
-            if (totalSlots_ == (chunks_.size() << kChunkShift))
-                addChunk();
-            slot = totalSlots_++;
-        }
+        const std::uint32_t slot = acquireSlot();
         Event &ev = slotRef(slot);
         ev.fn.assign(std::forward<F>(fn));
         if (ev.fn.onHeap())
             ++heapCallbacks_;
 
         const std::uint64_t seq = ++nextSeq_;
-        ev.liveSeq = seq;
+        ev.occupiedSeq = seq;
+        ev.entrySeq = seq;
         heap_.push_back(HeapEntry{when, seq, slot});
         siftUp(heap_.size() - 1);
         ++live_;
@@ -137,6 +187,35 @@ class EventQueue
     scheduleEdge(SimTime when, EdgeSink &sink, bool value)
     {
         return schedule(when, EventCallback::edge(sink, value));
+    }
+
+    /**
+     * Schedule a self edge train: @p count alternating edges starting
+     * with @p firstValue at @p firstWhen, then every @p period. One
+     * slab event covers the whole train; every edge fires.
+     */
+    EventHandle
+    scheduleEdgeTrain(SimTime firstWhen, SimTime period,
+                      std::uint32_t count, EdgeSink &sink,
+                      bool firstValue)
+    {
+        return scheduleTrain(firstWhen, period, count, sink, firstValue,
+                             /*speculative=*/false);
+    }
+
+    /**
+     * Schedule a speculative edge train. The first edge is confirmed
+     * by this call (the caller *is* the producer of that edge); every
+     * later edge stays dormant until confirmTrain(), and is silently
+     * dropped with the rest of the train if never confirmed.
+     */
+    EventHandle
+    scheduleSpeculativeEdgeTrain(SimTime firstWhen, SimTime period,
+                                 std::uint32_t count, EdgeSink &sink,
+                                 bool firstValue)
+    {
+        return scheduleTrain(firstWhen, period, count, sink, firstValue,
+                             /*speculative=*/true);
     }
 
     /**
@@ -164,26 +243,35 @@ class EventQueue
         firedAt = top.when;
 
         Event &ev = slotRef(top.slot);
+        if (ev.trainRemaining > 0) {
+            dispatchTrainEdge(ev, top);
+            return Step::Executed;
+        }
+
         // Clear the tag before firing: from the callback's own point
         // of view the event is no longer pending, and cancel() on
         // its own handle is a no-op (the previous design's
         // fired-flag semantics).
-        ev.liveSeq = 0;
+        ev.occupiedSeq = 0;
+        ev.entrySeq = 0;
         --live_;
         ++executed_;
         // Chunks are address-stable, so the callback runs in place
         // even if it schedules events (possibly growing the slab).
         ev.fn();
         ev.fn.reset();
-        ev.nextFree = freeHead_;
-        freeHead_ = top.slot;
+        releaseSlot(top.slot);
         return Step::Executed;
     }
 
-    /** @return true if no live events remain. */
+    /** @return true if no fireable events remain (dormant speculative
+     *  trains -- which cannot fire without external confirmation --
+     *  do not count). */
     bool empty() const { return live_ == 0; }
 
-    /** @return the number of live (non-cancelled) pending events. */
+    /** @return the number of live (fireable) pending events: plain
+     *  events, every remaining self-train edge, and confirmed
+     *  speculative heads. */
     std::uint64_t size() const { return live_; }
 
     /** @return the time of the earliest live event, or kTimeForever. */
@@ -202,7 +290,9 @@ class EventQueue
      */
     SimTime executeNext();
 
-    /** Total number of events executed so far. */
+    /** Kernel events executed so far. A train counts once (on its
+     *  first delivered edge), however many edges it replays: this is
+     *  the scheduler-operation metric events/bit reduces on. */
     std::uint64_t executedCount() const { return executed_; }
 
     // --- Pool introspection (tests, stats) --------------------------
@@ -216,6 +306,18 @@ class EventQueue
     /** Scheduled callbacks whose closure spilled to the heap. */
     std::uint64_t heapCallbackCount() const { return heapCallbacks_; }
 
+    // --- Train introspection ----------------------------------------
+
+    /** Edge trains scheduled so far (both flavors). */
+    std::uint64_t trainsScheduled() const { return trainsScheduled_; }
+
+    /** Individual edges delivered through trains. */
+    std::uint64_t trainEdgesDelivered() const { return trainEdges_; }
+
+    /** Undelivered edges across all pending trains (dormant tails
+     *  included); cancellation refunds a train's share in full. */
+    std::uint64_t pendingTrainEdges() const { return pendingTrainEdges_; }
+
   private:
     friend class EventHandle;
 
@@ -226,11 +328,25 @@ class EventQueue
 
     struct Event
     {
-        EventCallback fn;
-        /** seq of the pending event occupying this slot; 0 = none.
-         *  64-bit and globally unique, so stale references can
-         *  never alias a later occupant. */
-        std::uint64_t liveSeq = 0;
+        EventCallback fn; ///< Plain events only; empty for trains.
+        /** seq identifying the current occupant (handle identity);
+         *  0 = slot free. 64-bit and globally unique, so stale
+         *  references can never alias a later occupant. */
+        std::uint64_t occupiedSeq = 0;
+        /** seq of this slot's live heap entry; 0 = none queued. A
+         *  heap entry is stale exactly when its seq differs. */
+        std::uint64_t entrySeq = 0;
+
+        // Train state (trainRemaining > 0 marks a train event).
+        EdgeSink *trainSink = nullptr;
+        SimTime trainPeriod = 0;
+        SimTime trainNextWhen = 0;
+        std::uint32_t trainRemaining = 0;
+        bool trainNextValue = false;
+        bool trainSpeculative = false;
+        bool trainHeadQueued = false;
+        bool trainCounted = false; ///< Counted in executed_ yet?
+
         std::uint32_t nextFree = kNoSlot;
     };
 
@@ -262,22 +378,135 @@ class EventQueue
         return chunks_[slot >> kChunkShift][slot & kChunkMask];
     }
 
+    std::uint32_t
+    acquireSlot()
+    {
+        std::uint32_t slot;
+        if (freeHead_ != kNoSlot) {
+            slot = freeHead_;
+            freeHead_ = slotRef(slot).nextFree;
+        } else {
+            if (totalSlots_ == (chunks_.size() << kChunkShift))
+                addChunk();
+            slot = totalSlots_++;
+        }
+        return slot;
+    }
+
+    void
+    releaseSlot(std::uint32_t slot)
+    {
+        Event &ev = slotRef(slot);
+        ev.nextFree = freeHead_;
+        freeHead_ = slot;
+    }
+
+    void
+    clearTrain(Event &ev)
+    {
+        ev.trainSink = nullptr;
+        ev.trainPeriod = 0;
+        ev.trainNextWhen = 0;
+        ev.trainRemaining = 0;
+        ev.trainHeadQueued = false;
+        ev.trainSpeculative = false;
+        ev.trainCounted = false;
+    }
+
+    EventHandle
+    scheduleTrain(SimTime firstWhen, SimTime period, std::uint32_t count,
+                  EdgeSink &sink, bool firstValue, bool speculative)
+    {
+        if (count == 0)
+            return EventHandle();
+        const std::uint32_t slot = acquireSlot();
+        Event &ev = slotRef(slot);
+        const std::uint64_t seq = ++nextSeq_;
+        ev.occupiedSeq = seq;
+        ev.entrySeq = seq;
+        ev.trainSink = &sink;
+        ev.trainPeriod = period;
+        ev.trainNextWhen = firstWhen;
+        ev.trainRemaining = count;
+        ev.trainNextValue = firstValue;
+        ev.trainSpeculative = speculative;
+        ev.trainHeadQueued = true;
+        ev.trainCounted = false;
+        heap_.push_back(HeapEntry{firstWhen, seq, slot});
+        siftUp(heap_.size() - 1);
+        live_ += speculative ? 1 : count;
+        pendingTrainEdges_ += count;
+        ++trainsScheduled_;
+        return EventHandle(this, slot, seq);
+    }
+
+    /**
+     * Deliver the next edge of a train whose head entry was just
+     * popped, then advance the train in place. Self trains re-enter
+     * the heap with a seq drawn after the callback returns (the
+     * discrete self-reschedule tie-break position); speculative
+     * trains go dormant until confirmed.
+     */
+    void
+    dispatchTrainEdge(Event &ev, const HeapEntry &top)
+    {
+        const std::uint64_t occ = ev.occupiedSeq;
+        EdgeSink &sink = *ev.trainSink;
+        const bool value = ev.trainNextValue;
+        if (!ev.trainCounted) {
+            ev.trainCounted = true;
+            ++executed_;
+        }
+        --ev.trainRemaining;
+        --live_;
+        --pendingTrainEdges_;
+        ++trainEdges_;
+        ev.trainNextValue = !value;
+        ev.trainNextWhen = top.when + ev.trainPeriod;
+        ev.entrySeq = 0;
+        ev.trainHeadQueued = false;
+        sink.onEdge(value);
+        // The callback may have cancelled the train (and the slot may
+        // even have been reacquired); touch nothing if so.
+        if (ev.occupiedSeq != occ)
+            return;
+        if (ev.trainRemaining == 0) {
+            ev.occupiedSeq = 0;
+            clearTrain(ev);
+            releaseSlot(top.slot);
+            return;
+        }
+        if (!ev.trainSpeculative) {
+            const std::uint64_t seq = ++nextSeq_;
+            ev.entrySeq = seq;
+            ev.trainHeadQueued = true;
+            heap_.push_back(HeapEntry{ev.trainNextWhen, seq, top.slot});
+            siftUp(heap_.size() - 1);
+        }
+        // Speculative: dormant until confirmTrain().
+    }
+
     bool
     isPending(std::uint32_t slot, std::uint64_t seq) const
     {
-        return slot < totalSlots_ && slotRef(slot).liveSeq == seq;
+        return slot < totalSlots_ && slotRef(slot).occupiedSeq == seq;
     }
 
     void cancel(std::uint32_t slot, std::uint64_t seq);
 
+    bool confirmTrain(std::uint32_t slot, std::uint64_t seq);
+
+    std::uint32_t truncateTrainToHead(std::uint32_t slot,
+                                      std::uint64_t seq);
+
     void addChunk();
 
-    /** Drop stale (cancelled) entries from the head of the heap. */
+    /** Drop stale (cancelled / superseded) entries from the heap head. */
     void
     skipStale() const
     {
         while (!heap_.empty() &&
-               slotRef(heap_.front().slot).liveSeq !=
+               slotRef(heap_.front().slot).entrySeq !=
                    heap_.front().seq) {
             popHeapTop();
         }
@@ -336,6 +565,9 @@ class EventQueue
     std::uint64_t executed_ = 0;
     std::uint64_t slabGrowths_ = 0;
     std::uint64_t heapCallbacks_ = 0;
+    std::uint64_t trainsScheduled_ = 0;
+    std::uint64_t trainEdges_ = 0;
+    std::uint64_t pendingTrainEdges_ = 0;
 };
 
 inline void
@@ -349,6 +581,18 @@ inline bool
 EventHandle::pending() const
 {
     return queue_ && queue_->isPending(slot_, seq_);
+}
+
+inline bool
+EventHandle::confirmTrainEdge()
+{
+    return queue_ && queue_->confirmTrain(slot_, seq_);
+}
+
+inline std::uint32_t
+EventHandle::truncateTrainToHead()
+{
+    return queue_ ? queue_->truncateTrainToHead(slot_, seq_) : 0;
 }
 
 } // namespace sim

@@ -73,6 +73,35 @@ class Simulator
     }
 
     /**
+     * Schedule a self edge train (see EventQueue::scheduleEdgeTrain):
+     * @p count alternating edges, the first after @p delay, then one
+     * every @p period -- all carried by a single kernel event.
+     */
+    EventHandle
+    scheduleEdgeTrain(SimTime delay, SimTime period, std::uint32_t count,
+                      EdgeSink &sink, bool firstValue)
+    {
+        return queue_.scheduleEdgeTrain(now_ + delay, period, count,
+                                        sink, firstValue);
+    }
+
+    /**
+     * Schedule a speculative edge train (see
+     * EventQueue::scheduleSpeculativeEdgeTrain): the first edge is
+     * confirmed by this call; later edges fire only once confirmed
+     * through the returned handle.
+     */
+    EventHandle
+    scheduleSpeculativeEdgeTrain(SimTime delay, SimTime period,
+                                 std::uint32_t count, EdgeSink &sink,
+                                 bool firstValue)
+    {
+        return queue_.scheduleSpeculativeEdgeTrain(now_ + delay, period,
+                                                   count, sink,
+                                                   firstValue);
+    }
+
+    /**
      * Run until the event queue drains or @p limit is reached.
      *
      * @param limit Absolute stop time; events at exactly @p limit

@@ -1,6 +1,7 @@
 #include "sweep/scenario.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <set>
 #include <sstream>
@@ -23,6 +24,15 @@ trafficPatternName(TrafficPattern p)
     case TrafficPattern::BroadcastMix: return "bcast_mix";
     }
     return "?";
+}
+
+double
+nearestRankPercentile(const std::vector<double> &sorted, double q)
+{
+    std::size_t n = sorted.size();
+    std::size_t i = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    return sorted[(i == 0 ? 1 : i) - 1];
 }
 
 std::uint64_t
@@ -154,6 +164,7 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
     cfg.hopDelay = static_cast<sim::SimTime>(spec.hopDelayNs * 1000.0 + 0.5);
     cfg.dataLanes = spec.dataLanes;
     cfg.wireCapF = spec.wireLengthMm * spec.wireCapFPerMm;
+    cfg.edgeTrains = spec.edgeTrains;
 
     bus::MBusSystem system(simulator, cfg);
     for (int i = 0; i < spec.nodes; ++i) {
@@ -211,6 +222,8 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
     sim::SimTime issuedAt = 0;
     sim::SimTime lastCompletion = 0;
     double latencySumS = 0;
+    std::vector<double> latenciesS;
+    latenciesS.reserve(static_cast<std::size_t>(spec.messages));
     std::uint64_t completedWireBits = 0;
 
     std::function<void()> issueNext = [&] {
@@ -256,6 +269,7 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
             lastCompletion = r.completedAt;
             double lat = sim::toSeconds(r.completedAt - issuedAt);
             latencySumS += lat;
+            latenciesS.push_back(lat);
             if (done == 0)
                 st.firstTxLatencyS = lat;
             ++done;
@@ -279,10 +293,28 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
         st.avgTxLatencyS = latencySumS / done;
         st.avgCyclesPerTx = st.avgTxLatencyS * spec.busClockHz;
     }
+    if (!latenciesS.empty()) {
+        std::sort(latenciesS.begin(), latenciesS.end());
+        st.latencyP50S = nearestRankPercentile(latenciesS, 0.50);
+        st.latencyP95S = nearestRankPercentile(latenciesS, 0.95);
+        st.latencyP99S = nearestRankPercentile(latenciesS, 0.99);
+        st.txLatenciesS = latenciesS;
+    }
     st.eventsExecuted = simulator.eventsExecuted();
     if (completedWireBits > 0)
         st.eventsPerBit = static_cast<double>(st.eventsExecuted) /
                           static_cast<double>(completedWireBits);
+    st.trainEdges = simulator.queue().trainEdgesDelivered();
+    st.trainsScheduled = simulator.queue().trainsScheduled();
+    st.perNodeEdges.resize(static_cast<std::size_t>(spec.nodes), 0);
+    for (int i = 0; i < spec.nodes; ++i) {
+        auto idx = static_cast<std::size_t>(i);
+        std::uint64_t edges = system.clkSegment(idx).transitions() +
+                              system.dataSegment(idx).transitions();
+        for (int l = 1; l < spec.dataLanes; ++l)
+            edges += system.laneSegment(l, idx).transitions();
+        st.perNodeEdges[idx] = edges;
+    }
     st.clockCycles = system.mediator().stats().clockCycles;
     st.switchingJ = system.ledger().total();
     st.leakageJ = system.idleLeakageJ();

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -56,6 +57,7 @@ struct ScenarioSpec
     double interjectRate = 0.0;   ///< P(third-party interjection storm).
     sim::SimTime timeLimit = 60 * sim::kSecond; ///< Wedge guard.
     bool captureVcd = false; ///< Retain the full VCD byte stream.
+    bool edgeTrains = true;  ///< Batched edge delivery (A/B studies).
 };
 
 /** Deterministic per-run reduction of one scenario. */
@@ -85,11 +87,26 @@ struct ScenarioStats
     double firstTxLatencyS = 0; ///< Cold-start (wakeup) latency.
     double avgCyclesPerTx = 0; ///< Mean bus cycles per transaction.
 
+    // Latency distribution (nearest-rank percentiles over the cell's
+    // per-transaction issue-to-completion latencies). The sorted raw
+    // latencies are retained so sweep reduction can pool true
+    // percentiles across cells.
+    double latencyP50S = 0;
+    double latencyP95S = 0;
+    double latencyP99S = 0;
+    std::vector<double> txLatenciesS; ///< Sorted, one per completion.
+
     // Raw counters for cross-checks.
     std::uint64_t eventsExecuted = 0;
     std::uint64_t clockCycles = 0;
     std::uint64_t arbitrationRetries = 0;
+    std::uint64_t trainEdges = 0;   ///< Edges delivered via trains.
+    std::uint64_t trainsScheduled = 0; ///< Kernel edge trains created.
     sim::SimTime simTime = 0; ///< Final simulated timestamp.
+
+    /** Per-node event breakdown: wire transitions each node drove
+     *  onto its outbound ring segments (CLK + all DATA lanes). */
+    std::vector<std::uint64_t> perNodeEdges;
 
     // Waveform identity.
     std::size_t vcdBytes = 0;  ///< Length of the VCD dump.
@@ -109,6 +126,16 @@ ScenarioStats runScenario(const ScenarioSpec &spec, std::uint64_t seed);
 /** FNV-1a 64-bit, the hash used for VCD and sweep fingerprints. */
 std::uint64_t fnv1a(const void *data, std::size_t len,
                     std::uint64_t basis = 0xcbf29ce484222325ULL);
+
+/**
+ * Nearest-rank percentile over an ascending-sorted sample: the
+ * definition both per-cell stats and the sweep aggregate use.
+ *
+ * @param sorted Non-empty, ascending.
+ * @param q Quantile in (0, 1].
+ */
+double nearestRankPercentile(const std::vector<double> &sorted,
+                             double q);
 
 } // namespace sweep
 } // namespace mbus

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <charconv>
 #include <chrono>
+#include <cmath>
 #include <sstream>
 #include <thread>
 
@@ -58,6 +59,7 @@ SweepResult::aggregate() const
     a.cells = cells_.size();
     double goodputSum = 0, epbSum = 0;
     std::uint64_t goodputCells = 0;
+    std::vector<double> latencies;
     for (const CellResult &c : cells_) {
         const ScenarioStats &s = c.stats;
         a.planned += static_cast<std::uint64_t>(s.planned);
@@ -71,8 +73,15 @@ SweepResult::aggregate() const
         a.wedgedCells += s.wedged ? 1 : 0;
         a.bytesDelivered += s.bytesDelivered;
         a.events += s.eventsExecuted;
+        a.trainEdges += s.trainEdges;
         a.switchingJ += s.switchingJ;
         a.leakageJ += s.leakageJ;
+        latencies.insert(latencies.end(), s.txLatenciesS.begin(),
+                         s.txLatenciesS.end());
+        if (s.perNodeEdges.size() > a.perNodeEdges.size())
+            a.perNodeEdges.resize(s.perNodeEdges.size(), 0);
+        for (std::size_t i = 0; i < s.perNodeEdges.size(); ++i)
+            a.perNodeEdges[i] += s.perNodeEdges[i];
         if (s.goodputBps > 0) {
             goodputSum += s.goodputBps;
             ++goodputCells;
@@ -87,8 +96,32 @@ SweepResult::aggregate() const
         a.meanGoodputBps = goodputSum / static_cast<double>(goodputCells);
     if (a.cells > 0)
         a.meanEventsPerBit = epbSum / static_cast<double>(a.cells);
+    if (!latencies.empty()) {
+        std::sort(latencies.begin(), latencies.end());
+        a.latencyP50S = nearestRankPercentile(latencies, 0.50);
+        a.latencyP95S = nearestRankPercentile(latencies, 0.95);
+        a.latencyP99S = nearestRankPercentile(latencies, 0.99);
+    }
     return a;
 }
+
+namespace {
+
+/** Per-node breakdown as a pipe-packed CSV/JSON-safe scalar field
+ *  ("1024|988|1002"): one value per ring position. */
+std::string
+packPerNode(const std::vector<std::uint64_t> &edges)
+{
+    std::string out;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (i)
+            out += '|';
+        out += std::to_string(edges[i]);
+    }
+    return out;
+}
+
+} // namespace
 
 void
 SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
@@ -96,12 +129,15 @@ SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
     os << "index,name,nodes,clock_hz,hop_delay_ns,wire_length_mm,"
           "wire_cap_f_per_mm,payload_bytes,messages,lanes,"
           "traffic,gated,full_addr,priority_rate,interject_rate,"
-          "time_limit_ps,seed,"
+          "time_limit_ps,edge_trains,seed,"
           "planned,acked,naked,broadcast,interrupted,rx_abort,failed,"
           "mismatches,wedged,bytes_delivered,tx_per_s,goodput_bps,events,"
-          "events_per_bit,clock_cycles,arb_retries,switching_j,"
+          "events_per_bit,train_edges,clock_cycles,arb_retries,"
+          "switching_j,"
           "leakage_j,avg_tx_latency_s,first_tx_latency_s,"
-          "avg_cycles_per_tx,sim_time_ps,vcd_bytes,vcd_hash";
+          "lat_p50_s,lat_p95_s,lat_p99_s,"
+          "avg_cycles_per_tx,sim_time_ps,per_node_edges,"
+          "vcd_bytes,vcd_hash";
     if (includeWallTime)
         os << ",wall_s";
     os << "\n";
@@ -118,7 +154,7 @@ SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
            << (p.powerGated ? 1 : 0) << ','
            << (p.fullAddressing ? 1 : 0) << ','
            << fmt(p.priorityRate) << ',' << fmt(p.interjectRate) << ','
-           << p.timeLimit << ','
+           << p.timeLimit << ',' << (p.edgeTrains ? 1 : 0) << ','
            << c.seed << ',' << s.planned << ',' << s.acked << ','
            << s.naked << ',' << s.broadcasts << ',' << s.interrupted
            << ',' << s.rxAborts << ',' << s.failed << ','
@@ -126,10 +162,14 @@ SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
            << s.bytesDelivered << ',' << fmt(s.txPerSecond) << ','
            << fmt(s.goodputBps) << ','
            << s.eventsExecuted << ',' << fmt(s.eventsPerBit) << ','
+           << s.trainEdges << ','
            << s.clockCycles << ',' << s.arbitrationRetries << ','
            << fmt(s.switchingJ) << ',' << fmt(s.leakageJ) << ','
            << fmt(s.avgTxLatencyS) << ',' << fmt(s.firstTxLatencyS)
+           << ',' << fmt(s.latencyP50S) << ',' << fmt(s.latencyP95S)
+           << ',' << fmt(s.latencyP99S)
            << ',' << fmt(s.avgCyclesPerTx) << ',' << s.simTime << ','
+           << packPerNode(s.perNodeEdges) << ','
            << s.vcdBytes << ',' << s.vcdHash;
         if (includeWallTime)
             os << ',' << fmt(c.wallSeconds);
@@ -153,13 +193,18 @@ SweepResult::writeJson(std::ostream &os, bool includeWallTime) const
        << ", \"wedged_cells\": " << a.wedgedCells
        << ", \"bytes_delivered\": " << a.bytesDelivered
        << ", \"events\": " << a.events
+       << ", \"train_edges\": " << a.trainEdges
        << ", \"switching_j\": " << fmt(a.switchingJ)
        << ", \"leakage_j\": " << fmt(a.leakageJ)
        << ", \"mean_goodput_bps\": " << fmt(a.meanGoodputBps)
        << ", \"min_goodput_bps\": " << fmt(a.minGoodputBps)
        << ", \"max_goodput_bps\": " << fmt(a.maxGoodputBps)
        << ", \"mean_events_per_bit\": " << fmt(a.meanEventsPerBit)
-       << "},\n  \"cells\": [\n";
+       << ", \"lat_p50_s\": " << fmt(a.latencyP50S)
+       << ", \"lat_p95_s\": " << fmt(a.latencyP95S)
+       << ", \"lat_p99_s\": " << fmt(a.latencyP99S)
+       << ", \"per_node_edges\": \"" << packPerNode(a.perNodeEdges)
+       << "\"},\n  \"cells\": [\n";
     for (std::size_t i = 0; i < cells_.size(); ++i) {
         const CellResult &c = cells_[i];
         const ScenarioStats &s = c.stats;
@@ -168,7 +213,12 @@ SweepResult::writeJson(std::ostream &os, bool includeWallTime) const
            << ", \"acked\": " << s.acked
            << ", \"goodput_bps\": " << fmt(s.goodputBps)
            << ", \"events_per_bit\": " << fmt(s.eventsPerBit)
-           << ", \"switching_j\": " << fmt(s.switchingJ)
+           << ", \"train_edges\": " << s.trainEdges
+           << ", \"lat_p50_s\": " << fmt(s.latencyP50S)
+           << ", \"lat_p95_s\": " << fmt(s.latencyP95S)
+           << ", \"lat_p99_s\": " << fmt(s.latencyP99S)
+           << ", \"per_node_edges\": \"" << packPerNode(s.perNodeEdges)
+           << "\", \"switching_j\": " << fmt(s.switchingJ)
            << ", \"wedged\": " << (s.wedged ? "true" : "false");
         if (includeWallTime)
             os << ", \"wall_s\": " << fmt(c.wallSeconds);

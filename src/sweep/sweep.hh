@@ -66,12 +66,24 @@ struct SweepAggregate
     std::uint64_t wedgedCells = 0;
     std::uint64_t bytesDelivered = 0;
     std::uint64_t events = 0;
+    std::uint64_t trainEdges = 0;
     double switchingJ = 0;
     double leakageJ = 0;
     double meanGoodputBps = 0;
     double minGoodputBps = 0;
     double maxGoodputBps = 0;
     double meanEventsPerBit = 0;
+
+    /** Nearest-rank percentiles over every completed transaction's
+     *  latency, pooled across all cells in grid order. */
+    double latencyP50S = 0;
+    double latencyP95S = 0;
+    double latencyP99S = 0;
+
+    /** Per-node event breakdown summed index-wise across cells
+     *  (index i = ring position i; shorter rings contribute to the
+     *  prefix they populate). */
+    std::vector<std::uint64_t> perNodeEdges;
 };
 
 /** The aggregated outcome of one sweep. */

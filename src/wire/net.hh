@@ -21,6 +21,19 @@
  * and delayed deliveries ride the simulator's pooled scheduleEdge
  * path. Names are interned per simulator, so a net is identified by a
  * 4-byte id in traces and diagnostics.
+ *
+ * Edge-train batching (opt-in via enableEdgeTrains): a net watches
+ * its own drive rhythm, and when three consecutive drives alternate
+ * with two equal gaps -- the shape of a forwarded bus clock -- it
+ * upgrades the run to one speculative kernel edge train covering up
+ * to the configured number of future edges. Each later drive that
+ * matches the predicted value and time *confirms* the train's next
+ * edge instead of scheduling a discrete event; any off-rhythm drive,
+ * value glitch, or extra-delay drive splits the train back to the
+ * discrete path (keeping the already-committed in-flight edge, so
+ * Fig 5 drive-to-forward glitches survive bit-for-bit). Deliveries,
+ * fanout order, VCD bytes and edge counters are identical to the
+ * discrete path by construction; only the kernel-event count drops.
  */
 
 #ifndef MBUS_WIRE_NET_HH
@@ -152,6 +165,24 @@ class Net : private sim::EdgeSink
     /** @return true while a force is active. */
     bool forced() const { return forced_; }
 
+    /**
+     * Opt in to edge-train batching: rhythmic alternating drive runs
+     * coalesce into speculative kernel trains of up to @p maxEdges
+     * edges each. Requires a non-zero propagation delay (confirmation
+     * must precede delivery); silently stays discrete otherwise.
+     */
+    void
+    enableEdgeTrains(std::uint32_t maxEdges)
+    {
+        trainMax_ = (delay_ > 0 && maxEdges >= 2) ? maxEdges : 0;
+    }
+
+    /** Trains this net has started (diagnostics). */
+    std::uint64_t trainsStarted() const { return trainsStarted_; }
+
+    /** Trains split back to discrete edges before exhausting. */
+    std::uint64_t trainSplits() const { return trainSplits_; }
+
     /** Rising-edge count since construction (for energy/goodput). */
     std::uint64_t risingEdges() const { return risingEdges_; }
 
@@ -181,6 +212,12 @@ class Net : private sim::EdgeSink
     /** Pooled delayed delivery target (sim::EdgeSink). */
     void onEdge(bool value) override;
 
+    /** Upgrade the current drive run to a speculative edge train. */
+    void startTrain(bool v, sim::SimTime period);
+
+    /** Drop the speculative tail; committed edges still deliver. */
+    void splitTrain();
+
     /** Deliver a value to the visible side and fan out. */
     void applyVisible(bool v);
 
@@ -202,6 +239,22 @@ class Net : private sim::EdgeSink
 
     std::uint64_t risingEdges_ = 0;
     std::uint64_t fallingEdges_ = 0;
+
+    // --- Edge-train batching state ---------------------------------
+    std::uint32_t trainMax_ = 0; ///< Max edges per train; 0 disables.
+    sim::EventHandle train_;     ///< The active speculative train.
+    bool trainActive_ = false;
+    std::uint32_t trainLeft_ = 0;       ///< Confirmable edges left.
+    bool expectValue_ = false;          ///< Next predicted drive value.
+    sim::SimTime expectDriveAt_ = 0;    ///< Next predicted drive time.
+    sim::SimTime trainPeriod_ = 0;      ///< Detected drive period.
+    // Rhythm detector: two equal gaps between alternating drives.
+    sim::SimTime lastDriveAt_ = 0;
+    sim::SimTime lastGap_ = 0;
+    bool haveLastDrive_ = false;
+    bool haveLastGap_ = false;
+    std::uint64_t trainsStarted_ = 0;
+    std::uint64_t trainSplits_ = 0;
 
     /** Compact subscriber table: one pointer + mask per listener. */
     struct Sub

@@ -196,6 +196,48 @@ TEST(KernelPool, OversizedClosuresSpillToHeapButStillRun)
     EXPECT_EQ(seen, 42);
 }
 
+TEST(KernelPool, EdgeTrainsDoNotAllocateAndRecycleTheirSlot)
+{
+    Simulator sim;
+
+    struct CountingSink final : EdgeSink
+    {
+        std::uint64_t edges = 0;
+        void onEdge(bool) override { ++edges; }
+    } sink;
+
+    // Warm-up: slab, heap vector, free list.
+    for (int i = 0; i < 100; ++i)
+        sim.schedule(1, [] {});
+    sim.run();
+    sim.scheduleEdgeTrain(1, 1, 64, sink, true);
+    sim.run();
+
+    // Steady state: scheduling, expanding, confirming and cancelling
+    // trains must never touch the allocator.
+    std::uint64_t before = gAllocs.load();
+    for (int round = 0; round < 200; ++round) {
+        sim.scheduleEdgeTrain(10, 10, 50, sink, true);
+        sim.run();
+        EventHandle spec =
+            sim.scheduleSpeculativeEdgeTrain(10, 10, 50, sink, true);
+        sim.run();            // Head fires, train goes dormant.
+        spec.confirmTrainEdge();
+        sim.run();            // Second edge fires.
+        spec.cancel();        // Refund the dormant tail.
+        EventHandle doomed =
+            sim.scheduleEdgeTrain(10, 10, 50, sink, false);
+        doomed.cancel();      // Refund a whole unexpanded train.
+    }
+    EXPECT_EQ(gAllocs.load() - before, 0u)
+        << "train scheduling/expansion allocated";
+    EXPECT_EQ(sim.queue().pendingTrainEdges(), 0u);
+    EXPECT_LE(sim.queue().slabSlots(), 256u)
+        << "train slots leaked instead of recycling";
+    EXPECT_EQ(sim.queue().slabGrowths(), 0u);
+    EXPECT_EQ(sink.edges, 64u + 200u * 52u);
+}
+
 TEST(KernelPool, SameTimeFifoSurvivesSlotRecycling)
 {
     EventQueue q;

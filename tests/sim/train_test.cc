@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Behavioral tests for kernel edge trains: delivery timing and
+ * values, one-event accounting, cancellation refunds of unexpanded
+ * edges, speculative confirm-or-drop life cycle, truncation
+ * semantics, and slot recycling/handle safety across train
+ * retirement. (The allocation-freedom of the train paths is asserted
+ * in kernel_pool_test.cc, which owns this binary's counting
+ * allocator.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/simulator.hh"
+
+using namespace mbus::sim;
+
+namespace {
+
+/** Records every delivered edge with its value. */
+struct Recorder final : EdgeSink
+{
+    std::vector<bool> values;
+    void onEdge(bool v) override { values.push_back(v); }
+};
+
+TEST(EdgeTrain, SelfTrainDeliversAlternatingEdgesOnTheBeat)
+{
+    EventQueue q;
+    Recorder rec;
+    q.scheduleEdgeTrain(100, 50, 5, rec, true);
+    EXPECT_EQ(q.size(), 5u);
+    EXPECT_EQ(q.pendingTrainEdges(), 5u);
+
+    std::vector<SimTime> times;
+    while (!q.empty())
+        times.push_back(q.executeNext());
+    ASSERT_EQ(times.size(), 5u);
+    EXPECT_EQ(times, (std::vector<SimTime>{100, 150, 200, 250, 300}));
+    EXPECT_EQ(rec.values,
+              (std::vector<bool>{true, false, true, false, true}));
+    EXPECT_EQ(q.pendingTrainEdges(), 0u);
+}
+
+TEST(EdgeTrain, TrainCountsAsOneKernelEvent)
+{
+    EventQueue q;
+    Recorder rec;
+    q.scheduleEdgeTrain(10, 10, 50, rec, false);
+    while (!q.empty())
+        q.executeNext();
+    EXPECT_EQ(rec.values.size(), 50u);
+    EXPECT_EQ(q.executedCount(), 1u)
+        << "a train retires as one kernel event";
+    EXPECT_EQ(q.trainEdgesDelivered(), 50u);
+    EXPECT_EQ(q.trainsScheduled(), 1u);
+}
+
+TEST(EdgeTrain, TrainInterleavesWithPlainEventsInTimeOrder)
+{
+    EventQueue q;
+    Recorder rec;
+    std::vector<int> order;
+    q.scheduleEdgeTrain(100, 100, 3, rec, true); // 100, 200, 300
+    q.schedule(150, [&order] { order.push_back(150); });
+    q.schedule(250, [&order] { order.push_back(250); });
+    std::vector<SimTime> fired;
+    while (!q.empty())
+        fired.push_back(q.executeNext());
+    EXPECT_EQ(fired,
+              (std::vector<SimTime>{100, 150, 200, 250, 300}));
+    EXPECT_EQ(order, (std::vector<int>{150, 250}));
+}
+
+TEST(EdgeTrain, CancelRefundsAllRemainingEdges)
+{
+    EventQueue q;
+    Recorder rec;
+    EventHandle h = q.scheduleEdgeTrain(10, 10, 10, rec, true);
+    EXPECT_EQ(q.size(), 10u);
+    q.executeNext();
+    q.executeNext();
+    q.executeNext();
+    EXPECT_EQ(q.size(), 7u);
+    EXPECT_EQ(q.pendingTrainEdges(), 7u);
+    EXPECT_TRUE(h.pending());
+
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    EXPECT_EQ(q.size(), 0u)
+        << "cancel must refund every unexpanded edge, not just one";
+    EXPECT_EQ(q.pendingTrainEdges(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(rec.values.size(), 3u);
+
+    // The freed slot is immediately reusable and the stale heap entry
+    // never resurrects the train.
+    bool plain = false;
+    q.schedule(1000, [&plain] { plain = true; });
+    while (!q.empty())
+        q.executeNext();
+    EXPECT_TRUE(plain);
+    EXPECT_EQ(rec.values.size(), 3u);
+}
+
+TEST(EdgeTrain, CancelOfNotYetExpandedTrainRefundsEverything)
+{
+    EventQueue q;
+    Recorder rec;
+    EventHandle h = q.scheduleEdgeTrain(10, 10, 1000, rec, true);
+    EXPECT_EQ(q.size(), 1000u);
+    EXPECT_EQ(q.pendingTrainEdges(), 1000u);
+    h.cancel();
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.pendingTrainEdges(), 0u);
+    EXPECT_EQ(q.executedCount(), 0u);
+    EXPECT_TRUE(rec.values.empty());
+}
+
+TEST(EdgeTrain, CancelFromWithinADeliveryStopsTheTrain)
+{
+    EventQueue q;
+    struct Stopper final : EdgeSink
+    {
+        EventHandle handle;
+        int seen = 0;
+        void
+        onEdge(bool) override
+        {
+            if (++seen == 3)
+                handle.cancel();
+        }
+    } sink;
+    sink.handle = q.scheduleEdgeTrain(10, 10, 100, sink, true);
+    while (!q.empty())
+        q.executeNext();
+    EXPECT_EQ(sink.seen, 3);
+    EXPECT_EQ(q.pendingTrainEdges(), 0u);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EdgeTrain, CancelFromWithinTheFinalEdgeDoesNotCorruptAccounting)
+{
+    // The mediator's shape: beginInterjection() cancels the tick
+    // train from inside a delivery, and that delivery can be the
+    // chunk's last edge (remaining already 0). The cancel must be a
+    // clean no-op refund, not a double decrement of live accounting.
+    EventQueue q;
+    struct LastEdgeCanceller final : EdgeSink
+    {
+        EventHandle handle;
+        int seen = 0;
+        void
+        onEdge(bool) override
+        {
+            if (++seen == 4) // The train's final edge.
+                handle.cancel();
+        }
+    } sink;
+    sink.handle = q.scheduleEdgeTrain(10, 10, 4, sink, true);
+    while (!q.empty())
+        q.executeNext();
+    EXPECT_EQ(sink.seen, 4);
+    EXPECT_EQ(q.size(), 0u) << "live accounting under/overflowed";
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pendingTrainEdges(), 0u);
+
+    // The slot must be reusable and the queue fully functional.
+    bool fired = false;
+    q.schedule(100, [&fired] { fired = true; });
+    EXPECT_EQ(q.size(), 1u);
+    q.executeNext();
+    EXPECT_TRUE(fired);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EdgeTrain, SpeculativeEdgesFireOnlyWhenConfirmed)
+{
+    EventQueue q;
+    Recorder rec;
+    EventHandle h =
+        q.scheduleSpeculativeEdgeTrain(100, 50, 4, rec, true);
+    // Only the confirmed head is fireable.
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.pendingTrainEdges(), 4u);
+
+    EXPECT_EQ(q.executeNext(), 100);
+    EXPECT_EQ(rec.values, std::vector<bool>{true});
+    // Dormant: nothing fireable, but the train is still pending.
+    EXPECT_TRUE(q.empty());
+    EXPECT_TRUE(h.pending());
+    EXPECT_EQ(q.pendingTrainEdges(), 3u);
+
+    ASSERT_TRUE(h.confirmTrainEdge());
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.executeNext(), 150);
+    EXPECT_EQ(rec.values, (std::vector<bool>{true, false}));
+
+    // Double-confirm while the head is queued must fail.
+    ASSERT_TRUE(h.confirmTrainEdge());
+    EXPECT_FALSE(h.confirmTrainEdge());
+    EXPECT_EQ(q.executeNext(), 200);
+
+    ASSERT_TRUE(h.confirmTrainEdge());
+    EXPECT_EQ(q.executeNext(), 250);
+    // Exhausted: the slot retired, the handle is stale.
+    EXPECT_FALSE(h.pending());
+    EXPECT_FALSE(h.confirmTrainEdge());
+    EXPECT_EQ(q.pendingTrainEdges(), 0u);
+    EXPECT_EQ(q.executedCount(), 1u);
+}
+
+TEST(EdgeTrain, TruncateToHeadKeepsTheInFlightEdge)
+{
+    EventQueue q;
+    Recorder rec;
+    EventHandle h =
+        q.scheduleSpeculativeEdgeTrain(100, 50, 8, rec, true);
+    // Head confirmed and queued: a split keeps it (its drive already
+    // happened -- transport semantics) and refunds the tail.
+    EXPECT_EQ(h.truncateTrainToHead(), 7u);
+    EXPECT_EQ(q.pendingTrainEdges(), 1u);
+    EXPECT_EQ(q.executeNext(), 100);
+    EXPECT_EQ(rec.values, std::vector<bool>{true});
+    EXPECT_FALSE(h.pending());
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EdgeTrain, TruncateDormantTrainDropsEverything)
+{
+    EventQueue q;
+    Recorder rec;
+    EventHandle h =
+        q.scheduleSpeculativeEdgeTrain(100, 50, 8, rec, true);
+    EXPECT_EQ(q.executeNext(), 100); // Head fires; train dormant.
+    EXPECT_EQ(h.truncateTrainToHead(), 7u)
+        << "nothing is committed; the whole tail drops";
+    EXPECT_FALSE(h.pending());
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pendingTrainEdges(), 0u);
+    EXPECT_EQ(rec.values.size(), 1u);
+}
+
+TEST(EdgeTrain, StaleHandleNeverTouchesASlotReusedByAnotherEvent)
+{
+    EventQueue q;
+    Recorder rec;
+    EventHandle train = q.scheduleEdgeTrain(10, 10, 3, rec, true);
+    while (!q.empty())
+        q.executeNext(); // Train retires; slot freed.
+    EXPECT_FALSE(train.pending());
+
+    bool fired = false;
+    EventHandle fresh = q.schedule(50, [&fired] { fired = true; });
+    train.cancel(); // Stale: must not kill the new occupant.
+    EXPECT_FALSE(train.confirmTrainEdge());
+    EXPECT_EQ(train.truncateTrainToHead(), 0u);
+    EXPECT_TRUE(fresh.pending());
+    q.executeNext();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EdgeTrain, SimulatorWrapperSchedulesRelativeToNow)
+{
+    Simulator sim;
+    Recorder rec;
+    sim.schedule(1000, [&] {
+        sim.scheduleEdgeTrain(10, 10, 3, rec, false);
+    });
+    sim.run();
+    EXPECT_EQ(sim.now(), 1030);
+    EXPECT_EQ(rec.values, (std::vector<bool>{false, true, false}));
+}
+
+TEST(EdgeTrain, TrainsDrainBeforeRunLimitAccounting)
+{
+    // A dormant speculative train must not stall run(): the queue
+    // reports empty once no fireable work remains.
+    Simulator sim;
+    Recorder rec;
+    EventHandle h;
+    sim.schedule(10, [&] {
+        h = sim.scheduleSpeculativeEdgeTrain(5, 100, 10, rec, true);
+    });
+    SimTime end = sim.run(1000000);
+    EXPECT_EQ(end, 1000000);
+    EXPECT_EQ(rec.values.size(), 1u) << "only the confirmed head fires";
+    EXPECT_TRUE(h.pending()) << "the dormant tail stays cancellable";
+    h.cancel();
+    EXPECT_EQ(sim.queue().pendingTrainEdges(), 0u);
+}
+
+} // namespace
