@@ -9,11 +9,14 @@
 #define MBUS_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "sim/simulator.hh"
+#include "sweep/scenario.hh"
 #include "wire/net.hh"
 
 namespace mbus {
@@ -34,6 +37,152 @@ inline void
 section(const std::string &name)
 {
     std::printf("\n--- %s ---\n", name.c_str());
+}
+
+/**
+ * Append one single-line JSON object to the "runs" history array of
+ * @p path, preserving every other byte of the file (bench_kernel's
+ * top-level record, earlier history entries). A missing or empty
+ * file gets a minimal {"runs": [...]} skeleton; an existing file
+ * without a recognizable "runs" array is left untouched (returns
+ * false) rather than clobbered, so cross-bench histories
+ * (bench_kernel, workload_mix) accumulate in the same trajectory
+ * file.
+ *
+ * @return false if the file could not be written or was unparseable.
+ */
+inline bool
+appendRunEntry(const std::string &path, const std::string &entry)
+{
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (in && std::getline(in, line))
+            lines.push_back(line);
+    }
+    // Find the "runs" array and its closing bracket. History entries
+    // are one object per line, so the array closes on the first line
+    // after "runs": [ whose first non-space character is ']'.
+    std::size_t runsAt = lines.size();
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (lines[i].find("\"runs\": [") != std::string::npos) {
+            runsAt = i;
+            break;
+        }
+    }
+    if (runsAt == lines.size()) {
+        if (!lines.empty())
+            return false; // Unrecognized layout; refuse to clobber.
+        std::ofstream out(path);
+        if (!out)
+            return false;
+        out << "{\n  \"runs\": [\n    " << entry << "\n  ]\n}\n";
+        return out.good();
+    }
+    std::size_t closeAt = lines.size();
+    bool hasEntries = false;
+    for (std::size_t i = runsAt + 1; i < lines.size(); ++i) {
+        std::size_t ns = lines[i].find_first_not_of(" \t");
+        if (ns != std::string::npos && lines[i][ns] == ']') {
+            closeAt = i;
+            break;
+        }
+        if (ns != std::string::npos)
+            hasEntries = true;
+    }
+    if (closeAt == lines.size())
+        return false; // Malformed; refuse to rewrite.
+    if (hasEntries) {
+        // Terminate the previous entry with a comma.
+        std::string &prev = lines[closeAt - 1];
+        std::size_t end = prev.find_last_not_of(" \t");
+        if (end != std::string::npos && prev[end] != ',')
+            prev.insert(end + 1, ",");
+    }
+    lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(closeAt),
+                 "    " + entry);
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    for (const std::string &l : lines)
+        out << l << "\n";
+    return out.good();
+}
+
+/**
+ * The canonical sensing+imaging+storm application mix (the paper's
+ * system rhythm: a duty-cycled temperature-style sensor, a
+ * frame-burst imager, control-plane chatter at the mediator host,
+ * under a third-party interjection storm). Shared by workload_mix
+ * (the bench that documents it) and perf_gate (the regression
+ * baseline that must measure the identical cell).
+ *
+ * @param nodes Ring population (>= 3; sensor on 1, imager on 2).
+ * @param clockHz Bus clock.
+ * @param stormFrac Fraction of the run covered by the storm window
+ *        (0 disables it).
+ * @param smoke CI-sized: 12 s of sim with proportionally faster
+ *        actors instead of the full 90 s / 1 Hz / 30 s-burst mix.
+ */
+inline sweep::ScenarioSpec
+canonicalWorkloadCell(int nodes, double clockHz, double stormFrac,
+                      bool smoke)
+{
+    sweep::ScenarioSpec s;
+    s.nodes = nodes;
+    s.busClockHz = clockHz;
+    s.powerGated = true;
+    s.name = "mix_n" + std::to_string(nodes);
+
+    workload::WorkloadSpec &w = s.workload;
+    w.name = "sense_image_storm";
+    w.durationS = smoke ? 12.0 : 90.0;
+
+    // Periodic sensor @ 1 Hz duty cycle (8-byte samples to the
+    // gateway), jittered like a real RC-timed wakeup.
+    workload::ActorSpec sensor;
+    sensor.kind = workload::ActorKind::PeriodicSensor;
+    sensor.name = "sensor";
+    sensor.node = 1;
+    sensor.dest = 0;
+    sensor.periodS = smoke ? 0.25 : 1.0;
+    sensor.jitterFrac = 0.1;
+    sensor.payloadBytes = 8;
+    w.actors.push_back(sensor);
+
+    // 4 KB imager burst every 30 s, 128-byte fragments.
+    workload::ActorSpec imager;
+    imager.kind = workload::ActorKind::BurstImager;
+    imager.name = "imager";
+    imager.node = 2;
+    imager.dest = 0;
+    imager.periodS = smoke ? 4.0 : 30.0;
+    imager.payloadBytes = 128;
+    imager.burstBytes = 4096;
+    imager.startS = smoke ? 0.5 : 2.0;
+    w.actors.push_back(imager);
+
+    // Mediator-host-targeted control traffic (priority).
+    workload::ActorSpec control;
+    control.kind = workload::ActorKind::ControlPlane;
+    control.name = "control";
+    control.node = nodes - 1;
+    control.dest = 0;
+    control.periodS = smoke ? 1.0 : 5.0;
+    control.payloadBytes = 4;
+    control.priority = true;
+    w.actors.push_back(control);
+
+    if (stormFrac > 0) {
+        workload::ScheduleSpec storm;
+        storm.kind = workload::ScheduleKind::InterjectionStorm;
+        storm.atS = 0.45 * w.durationS;
+        storm.durationS = stormFrac * w.durationS;
+        storm.rateHz = smoke ? 25.0 : 4.0;
+        w.schedules.push_back(storm);
+    }
+    return s;
 }
 
 // --- Shared edge-train workload harnesses ---------------------------

@@ -14,6 +14,10 @@
  *  - fig9_n4 / fig9_n10: two real fig9 sweep cells (a full
  *    MBusSystem at 99.9% of the conservative max clock), events per
  *    completed wire data bit;
+ *  - workload_mix: the canonical sensing+imaging+storm application
+ *    mix (benchutil::canonicalWorkloadCell, the cell workload_mix
+ *    documents), events per completed wire data bit through the
+ *    workload engine's hot path;
  *
  * and fails if any metric regresses more than 10% over the
  * checked-in baseline (bench/perf_baseline.json). Regenerate the
@@ -102,6 +106,24 @@ fig9EventsPerBit()
     return out;
 }
 
+/** The workload-engine hot path: one deterministic canonical-mix
+ *  cell (CI-sized), events per completed wire data bit. */
+double
+workloadMixEventsPerBit()
+{
+    sweep::ScenarioSpec spec = benchutil::canonicalWorkloadCell(
+        /*nodes=*/4, /*clockHz=*/400e3, /*stormFrac=*/0.10,
+        /*smoke=*/true);
+    sweep::ScenarioStats st = sweep::runScenario(spec, 0x6d6978ULL);
+    if (st.wedged || st.eventsPerBit <= 0 ||
+        st.samplesDelivered == 0) {
+        std::fprintf(stderr,
+                     "FAIL: workload_mix cell produced no events/bit\n");
+        std::exit(1);
+    }
+    return st.eventsPerBit;
+}
+
 /** Flat {"name": value, ...} reader; tolerant of whitespace. */
 bool
 readBaseline(const std::string &path, const std::string &key,
@@ -141,6 +163,7 @@ main(int argc, char **argv)
     metrics.push_back({"forward_ring", forwardRingEventsPerEdge()});
     for (Metric &m : fig9EventsPerBit())
         metrics.push_back(m);
+    metrics.push_back({"workload_mix", workloadMixEventsPerBit()});
 
     if (!writePath.empty()) {
         std::ofstream out(writePath);

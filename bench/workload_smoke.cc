@@ -1,0 +1,114 @@
+/**
+ * @file
+ * CI smoke for the workload engine: a small application mix run
+ * through the sweep driver on 2 worker threads, re-run
+ * single-threaded, with the byte-identity property checked
+ * end-to-end (CSV + JSON + fingerprint, per-actor columns included)
+ * and every cell's health asserted. Exits non-zero on divergence,
+ * wedge, corruption, or a silent mix (no samples delivered), so CI
+ * fails the PR -- the workload twin of sweep_smoke.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "sweep/sweep.hh"
+
+using namespace mbus;
+
+int
+main(int argc, char **argv)
+{
+    const char *out = "workload_smoke.csv";
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--out") == 0)
+            out = argv[i + 1];
+
+    benchutil::banner(
+        "Workload smoke: 2-thread vs 1-thread byte identity on a "
+        "small mix",
+        "workload engine self-check (CI gate)");
+
+    // A compact grid still covering storm, fault and gating paths.
+    std::vector<sweep::ScenarioSpec> grid;
+    for (int nodes : {3, 5}) {
+        for (double storm : {0.0, 0.15}) {
+            sweep::ScenarioSpec s = benchutil::canonicalWorkloadCell(
+                nodes, 400e3, storm, /*smoke=*/true);
+            s.workload.durationS = 4.0;
+            s.name += storm > 0 ? "_storm" : "_quiet";
+            s.captureVcd = true;
+
+            workload::ScheduleSpec fault;
+            fault.kind = workload::ScheduleKind::NodeFault;
+            fault.atS = 1.0;
+            fault.durationS = 0.5;
+            s.workload.schedules.push_back(fault);
+
+            workload::ScheduleSpec gate;
+            gate.kind = workload::ScheduleKind::PowerGateWindow;
+            gate.node = 1;
+            gate.atS = 2.0;
+            gate.durationS = 0.4;
+            s.workload.schedules.push_back(gate);
+            grid.push_back(std::move(s));
+        }
+    }
+
+    sweep::SweepConfig sharded;
+    sharded.threads = 2;
+    sweep::SweepConfig solo;
+    solo.threads = 1;
+    sweep::SweepResult a = sweep::SweepDriver(sharded).run(grid);
+    sweep::SweepResult b = sweep::SweepDriver(solo).run(grid);
+
+    std::ostringstream csvA, csvB, jsonA, jsonB;
+    a.writeCsv(csvA);
+    b.writeCsv(csvB);
+    a.writeJson(jsonA);
+    b.writeJson(jsonB);
+    bool identical = csvA.str() == csvB.str() &&
+                     jsonA.str() == jsonB.str() &&
+                     a.fingerprint() == b.fingerprint();
+
+    sweep::SweepAggregate agg = a.aggregate();
+    std::printf("cells=%llu planned=%llu acked=%llu samples=%llu/%llu "
+                "missed=%llu faults=%llu mismatches=%llu wedged=%llu\n",
+                static_cast<unsigned long long>(agg.cells),
+                static_cast<unsigned long long>(agg.planned),
+                static_cast<unsigned long long>(agg.acked),
+                static_cast<unsigned long long>(agg.samplesDelivered),
+                static_cast<unsigned long long>(agg.samplesPlanned),
+                static_cast<unsigned long long>(agg.missedDeadlines),
+                static_cast<unsigned long long>(agg.faultsInjected),
+                static_cast<unsigned long long>(agg.mismatches),
+                static_cast<unsigned long long>(agg.wedgedCells));
+    std::printf("fingerprint=%016llx (2 threads) vs %016llx (1 "
+                "thread): %s\n",
+                static_cast<unsigned long long>(a.fingerprint()),
+                static_cast<unsigned long long>(b.fingerprint()),
+                identical ? "IDENTICAL" : "DIVERGED");
+    std::printf("wall: %.3f s across %zu cells (2 threads)\n",
+                a.totalWallSeconds(), a.size());
+
+    std::ofstream os(out);
+    a.writeCsv(os, /*includeWallTime=*/true);
+    std::printf("wrote %s\n", out);
+
+    bool healthy = agg.mismatches == 0 && agg.wedgedCells == 0 &&
+                   agg.samplesDelivered > 0 &&
+                   agg.planned == agg.acked + agg.naked +
+                                      agg.broadcasts + agg.interrupted +
+                                      agg.rxAborts + agg.failed;
+    if (!identical || !healthy) {
+        std::printf("WORKLOAD SMOKE FAILED\n");
+        return 1;
+    }
+    std::printf("WORKLOAD SMOKE OK\n");
+    return 0;
+}

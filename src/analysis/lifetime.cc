@@ -1,5 +1,7 @@
 #include "analysis/lifetime.hh"
 
+#include <limits>
+
 #include "analysis/energy_model.hh"
 #include "power/battery.hh"
 #include "power/constants.hh"
@@ -35,6 +37,16 @@ analyzeSenseAndSend(std::size_t payloadBytes, int chips,
     r.lifetimeGainHours =
         (r.lifetimeDirectDays - r.lifetimeRelayDays) * 24.0;
     return r;
+}
+
+double
+projectedLifetimeDays(double totalEnergyJ, double activeSeconds,
+                      double batteryUah, double batteryV)
+{
+    power::Battery battery(batteryUah, batteryV);
+    if (totalEnergyJ <= 0 || activeSeconds <= 0)
+        return std::numeric_limits<double>::infinity();
+    return battery.lifetimeDays(totalEnergyJ / activeSeconds);
 }
 
 } // namespace analysis

@@ -52,6 +52,18 @@ SenseAndSendAnalysis analyzeSenseAndSend(std::size_t payloadBytes = 8,
                                          double batteryUah = 2.0,
                                          double batteryV = 3.8);
 
+/**
+ * Paper-style lifetime projection for a measured application mix:
+ * the average power implied by @p totalEnergyJ over @p activeSeconds
+ * of simulated time, run down on the crude capacity-times-voltage
+ * battery of Sec 6.3.1. Defaults to the abstract's 0.6 uAh cell.
+ *
+ * @return projected lifetime in days (inf when energy is zero).
+ */
+double projectedLifetimeDays(double totalEnergyJ, double activeSeconds,
+                             double batteryUah = 0.6,
+                             double batteryV = 3.8);
+
 } // namespace analysis
 } // namespace mbus
 

@@ -145,6 +145,14 @@ makePlan(const ScenarioSpec &spec, bus::MBusSystem &system,
     return plan;
 }
 
+void runClassicTraffic(const ScenarioSpec &spec,
+                       bus::MBusSystem &system,
+                       sim::Simulator &simulator, ScenarioStats &st,
+                       int &done, sim::SimTime &lastCompletion,
+                       double &latencySumS,
+                       std::vector<double> &latenciesS,
+                       std::uint64_t &completedWireBits);
+
 } // namespace
 
 ScenarioStats
@@ -184,10 +192,118 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
     if (spec.captureVcd)
         system.attachTrace(recorder);
 
-    auto plan = makePlan(spec, system, simulator.rng());
-
     ScenarioStats st;
+
+    int done = 0;
+    sim::SimTime lastCompletion = 0;
+    double latencySumS = 0;
+    std::vector<double> latenciesS;
+    std::uint64_t completedWireBits = 0;
+
+    if (spec.workload.enabled()) {
+        // Application-mix cell: the engine compiles a pre-drawn plan
+        // on the cell seed and drives the system through the same
+        // node APIs; the messages/traffic knobs are ignored.
+        workload::WorkloadEngine engine(spec.workload, seed,
+                                        spec.nodes);
+        sim::SimTime limit = std::max(
+            spec.timeLimit,
+            sim::fromSeconds(spec.workload.durationS) + sim::kSecond);
+        workload::WorkloadRunStats w =
+            engine.drive(system, simulator, limit);
+
+        st.planned = w.planned;
+        st.acked = w.acked;
+        st.naked = w.naked;
+        st.broadcasts = w.broadcasts;
+        st.interrupted = w.interrupted;
+        st.rxAborts = w.rxAborts;
+        st.failed = w.failed;
+        st.bytesDelivered = w.bytesDelivered;
+        st.payloadMismatches = w.payloadMismatches;
+        st.arbitrationRetries = w.arbitrationRetries;
+        st.firstTxLatencyS = w.firstTxLatencyS;
+        st.wedged = w.wedged;
+        st.actorStats = std::move(w.actors);
+        st.missedDeadlines = w.missedDeadlines;
+        st.samplesPlanned = w.samplesPlanned;
+        st.samplesDelivered = w.samplesDelivered;
+        st.stormInterjections = w.stormInterjections;
+        st.gateWindows = w.gateWindows;
+        st.faultsInjected = w.faultsInjected;
+        st.faultsRecovered = w.faultsRecovered;
+        st.retimings = w.retimings;
+
+        latenciesS = std::move(w.txLatenciesS);
+        latencySumS = w.latencySumS;
+        completedWireBits = w.completedWireBits;
+        lastCompletion = w.lastCompletion;
+        done = static_cast<int>(latenciesS.size());
+    } else {
+        runClassicTraffic(spec, system, simulator, st, done,
+                          lastCompletion, latencySumS, latenciesS,
+                          completedWireBits);
+    }
+
+    // --- Reduction ---------------------------------------------------
+    double elapsedS = sim::toSeconds(lastCompletion);
+    if (done > 0 && elapsedS > 0) {
+        st.txPerSecond = static_cast<double>(done) / elapsedS;
+        st.goodputBps =
+            8.0 * static_cast<double>(st.bytesDelivered) / elapsedS;
+        st.avgTxLatencyS = latencySumS / done;
+        st.avgCyclesPerTx = st.avgTxLatencyS * spec.busClockHz;
+    }
+    if (!latenciesS.empty()) {
+        std::sort(latenciesS.begin(), latenciesS.end());
+        st.latencyP50S = nearestRankPercentile(latenciesS, 0.50);
+        st.latencyP95S = nearestRankPercentile(latenciesS, 0.95);
+        st.latencyP99S = nearestRankPercentile(latenciesS, 0.99);
+        st.txLatenciesS = latenciesS;
+    }
+    st.eventsExecuted = simulator.eventsExecuted();
+    if (completedWireBits > 0)
+        st.eventsPerBit = static_cast<double>(st.eventsExecuted) /
+                          static_cast<double>(completedWireBits);
+    st.trainEdges = simulator.queue().trainEdgesDelivered();
+    st.trainsScheduled = simulator.queue().trainsScheduled();
+    st.perNodeEdges.resize(static_cast<std::size_t>(spec.nodes), 0);
+    for (int i = 0; i < spec.nodes; ++i) {
+        auto idx = static_cast<std::size_t>(i);
+        std::uint64_t edges = system.clkSegment(idx).transitions() +
+                              system.dataSegment(idx).transitions();
+        for (int l = 1; l < spec.dataLanes; ++l)
+            edges += system.laneSegment(l, idx).transitions();
+        st.perNodeEdges[idx] = edges;
+    }
+    st.clockCycles = system.mediator().stats().clockCycles;
+    st.switchingJ = system.ledger().total();
+    st.leakageJ = system.idleLeakageJ();
+    st.simTime = simulator.now();
+
+    if (spec.captureVcd) {
+        std::ostringstream os;
+        recorder.writeVcd(os);
+        st.vcd = os.str();
+        st.vcdBytes = st.vcd.size();
+        st.vcdHash = fnv1a(st.vcd.data(), st.vcd.size());
+    }
+    return st;
+}
+
+namespace {
+
+/** The pre-workload traffic driver: one planned message at a time
+ *  from the makePlan() stream, with delivery integrity checking. */
+void
+runClassicTraffic(const ScenarioSpec &spec, bus::MBusSystem &system,
+                  sim::Simulator &simulator, ScenarioStats &st,
+                  int &done, sim::SimTime &lastCompletion,
+                  double &latencySumS, std::vector<double> &latenciesS,
+                  std::uint64_t &completedWireBits)
+{
     st.planned = spec.messages;
+    auto plan = makePlan(spec, system, simulator.rng());
 
     // Delivery integrity: every issued payload is registered as
     // expected (n-1 copies for broadcasts) and each complete delivery
@@ -218,13 +334,8 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
             });
     }
 
-    int done = 0;
     sim::SimTime issuedAt = 0;
-    sim::SimTime lastCompletion = 0;
-    double latencySumS = 0;
-    std::vector<double> latenciesS;
     latenciesS.reserve(static_cast<std::size_t>(spec.messages));
-    std::uint64_t completedWireBits = 0;
 
     std::function<void()> issueNext = [&] {
         if (done >= spec.messages)
@@ -283,52 +394,9 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
         [&] { return done >= spec.messages; }, spec.timeLimit);
     bool idle = system.runUntilIdle(sim::kSecond);
     st.wedged = !finished || !idle;
-
-    // --- Reduction ---------------------------------------------------
-    double elapsedS = sim::toSeconds(lastCompletion);
-    if (done > 0 && elapsedS > 0) {
-        st.txPerSecond = static_cast<double>(done) / elapsedS;
-        st.goodputBps =
-            8.0 * static_cast<double>(st.bytesDelivered) / elapsedS;
-        st.avgTxLatencyS = latencySumS / done;
-        st.avgCyclesPerTx = st.avgTxLatencyS * spec.busClockHz;
-    }
-    if (!latenciesS.empty()) {
-        std::sort(latenciesS.begin(), latenciesS.end());
-        st.latencyP50S = nearestRankPercentile(latenciesS, 0.50);
-        st.latencyP95S = nearestRankPercentile(latenciesS, 0.95);
-        st.latencyP99S = nearestRankPercentile(latenciesS, 0.99);
-        st.txLatenciesS = latenciesS;
-    }
-    st.eventsExecuted = simulator.eventsExecuted();
-    if (completedWireBits > 0)
-        st.eventsPerBit = static_cast<double>(st.eventsExecuted) /
-                          static_cast<double>(completedWireBits);
-    st.trainEdges = simulator.queue().trainEdgesDelivered();
-    st.trainsScheduled = simulator.queue().trainsScheduled();
-    st.perNodeEdges.resize(static_cast<std::size_t>(spec.nodes), 0);
-    for (int i = 0; i < spec.nodes; ++i) {
-        auto idx = static_cast<std::size_t>(i);
-        std::uint64_t edges = system.clkSegment(idx).transitions() +
-                              system.dataSegment(idx).transitions();
-        for (int l = 1; l < spec.dataLanes; ++l)
-            edges += system.laneSegment(l, idx).transitions();
-        st.perNodeEdges[idx] = edges;
-    }
-    st.clockCycles = system.mediator().stats().clockCycles;
-    st.switchingJ = system.ledger().total();
-    st.leakageJ = system.idleLeakageJ();
-    st.simTime = simulator.now();
-
-    if (spec.captureVcd) {
-        std::ostringstream os;
-        recorder.writeVcd(os);
-        st.vcd = os.str();
-        st.vcdBytes = st.vcd.size();
-        st.vcdHash = fnv1a(st.vcd.data(), st.vcd.size());
-    }
-    return st;
 }
+
+} // namespace
 
 } // namespace sweep
 } // namespace mbus

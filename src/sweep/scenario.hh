@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/types.hh"
+#include "workload/workload.hh"
 
 namespace mbus {
 namespace sweep {
@@ -58,6 +59,15 @@ struct ScenarioSpec
     sim::SimTime timeLimit = 60 * sim::kSecond; ///< Wedge guard.
     bool captureVcd = false; ///< Retain the full VCD byte stream.
     bool edgeTrains = true;  ///< Batched edge delivery (A/B studies).
+
+    /**
+     * Application-mix workload. When it has actors, the cell's
+     * traffic comes from a WorkloadEngine compiled on the cell seed
+     * instead of the messages/traffic knobs above (which are then
+     * ignored), and per-actor stats flow into ScenarioStats. The
+     * wedge guard is raised to cover the mix duration automatically.
+     */
+    workload::WorkloadSpec workload;
 };
 
 /** Deterministic per-run reduction of one scenario. */
@@ -107,6 +117,18 @@ struct ScenarioStats
     /** Per-node event breakdown: wire transitions each node drove
      *  onto its outbound ring segments (CLK + all DATA lanes). */
     std::vector<std::uint64_t> perNodeEdges;
+
+    // Application-mix outcome (populated when spec.workload has
+    // actors; empty/zero otherwise).
+    std::vector<workload::ActorStats> actorStats;
+    int missedDeadlines = 0;
+    int samplesPlanned = 0;
+    int samplesDelivered = 0;
+    int stormInterjections = 0;
+    int gateWindows = 0;
+    int faultsInjected = 0;
+    int faultsRecovered = 0;
+    int retimings = 0;
 
     // Waveform identity.
     std::size_t vcdBytes = 0;  ///< Length of the VCD dump.

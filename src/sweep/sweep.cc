@@ -82,6 +82,13 @@ SweepResult::aggregate() const
             a.perNodeEdges.resize(s.perNodeEdges.size(), 0);
         for (std::size_t i = 0; i < s.perNodeEdges.size(); ++i)
             a.perNodeEdges[i] += s.perNodeEdges[i];
+        a.samplesPlanned += static_cast<std::uint64_t>(s.samplesPlanned);
+        a.samplesDelivered +=
+            static_cast<std::uint64_t>(s.samplesDelivered);
+        a.missedDeadlines +=
+            static_cast<std::uint64_t>(s.missedDeadlines);
+        a.faultsInjected += static_cast<std::uint64_t>(s.faultsInjected);
+        a.retimings += static_cast<std::uint64_t>(s.retimings);
         if (s.goodputBps > 0) {
             goodputSum += s.goodputBps;
             ++goodputCells;
@@ -121,6 +128,21 @@ packPerNode(const std::vector<std::uint64_t> &edges)
     return out;
 }
 
+/** Pipe-packed per-actor field ("v0|v1|v2"): one entry per actor of
+ *  the cell's workload, formatted by @p f. Empty for classic cells. */
+template <typename F>
+std::string
+packActors(const std::vector<workload::ActorStats> &actors, F f)
+{
+    std::string out;
+    for (std::size_t i = 0; i < actors.size(); ++i) {
+        if (i)
+            out += '|';
+        out += f(actors[i]);
+    }
+    return out;
+}
+
 } // namespace
 
 void
@@ -137,7 +159,13 @@ SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
           "leakage_j,avg_tx_latency_s,first_tx_latency_s,"
           "lat_p50_s,lat_p95_s,lat_p99_s,"
           "avg_cycles_per_tx,sim_time_ps,per_node_edges,"
-          "vcd_bytes,vcd_hash";
+          "vcd_bytes,vcd_hash,"
+          "workload,samples_planned,samples_delivered,"
+          "missed_deadlines,storm_interjections,gate_windows,faults,"
+          "faults_recovered,retimings,actor_names,actor_samples,"
+          "actor_missed,actor_lat_p50_s,actor_lat_p95_s,"
+          "actor_lat_p99_s,actor_energy_per_sample_j,"
+          "actor_duty_cycle";
     if (includeWallTime)
         os << ",wall_s";
     os << "\n";
@@ -170,7 +198,58 @@ SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
            << ',' << fmt(s.latencyP99S)
            << ',' << fmt(s.avgCyclesPerTx) << ',' << s.simTime << ','
            << packPerNode(s.perNodeEdges) << ','
-           << s.vcdBytes << ',' << s.vcdHash;
+           << s.vcdBytes << ',' << s.vcdHash << ','
+           << (p.workload.enabled() ? sanitizeName(p.workload.name)
+                                    : std::string("-"))
+           << ',' << s.samplesPlanned << ',' << s.samplesDelivered
+           << ',' << s.missedDeadlines << ',' << s.stormInterjections
+           << ',' << s.gateWindows << ',' << s.faultsInjected << ','
+           << s.faultsRecovered << ',' << s.retimings << ','
+           << packActors(s.actorStats,
+                         [](const workload::ActorStats &a) {
+                             // Per-name sanitizing: '|' is this
+                             // field's separator, so strip it too.
+                             std::string n = sanitizeName(a.name);
+                             for (char &ch : n)
+                                 if (ch == '|')
+                                     ch = '_';
+                             return n;
+                         })
+           << ','
+           << packActors(s.actorStats,
+                         [](const workload::ActorStats &a) {
+                             return std::to_string(a.samplesDelivered);
+                         })
+           << ','
+           << packActors(s.actorStats,
+                         [](const workload::ActorStats &a) {
+                             return std::to_string(a.missedDeadlines);
+                         })
+           << ','
+           << packActors(s.actorStats,
+                         [](const workload::ActorStats &a) {
+                             return fmt(a.latencyP50S);
+                         })
+           << ','
+           << packActors(s.actorStats,
+                         [](const workload::ActorStats &a) {
+                             return fmt(a.latencyP95S);
+                         })
+           << ','
+           << packActors(s.actorStats,
+                         [](const workload::ActorStats &a) {
+                             return fmt(a.latencyP99S);
+                         })
+           << ','
+           << packActors(s.actorStats,
+                         [](const workload::ActorStats &a) {
+                             return fmt(a.energyPerSampleJ);
+                         })
+           << ','
+           << packActors(s.actorStats,
+                         [](const workload::ActorStats &a) {
+                             return fmt(a.dutyCycle);
+                         });
         if (includeWallTime)
             os << ',' << fmt(c.wallSeconds);
         os << "\n";
@@ -203,6 +282,11 @@ SweepResult::writeJson(std::ostream &os, bool includeWallTime) const
        << ", \"lat_p50_s\": " << fmt(a.latencyP50S)
        << ", \"lat_p95_s\": " << fmt(a.latencyP95S)
        << ", \"lat_p99_s\": " << fmt(a.latencyP99S)
+       << ", \"samples_planned\": " << a.samplesPlanned
+       << ", \"samples_delivered\": " << a.samplesDelivered
+       << ", \"missed_deadlines\": " << a.missedDeadlines
+       << ", \"faults\": " << a.faultsInjected
+       << ", \"retimings\": " << a.retimings
        << ", \"per_node_edges\": \"" << packPerNode(a.perNodeEdges)
        << "\"},\n  \"cells\": [\n";
     for (std::size_t i = 0; i < cells_.size(); ++i) {
@@ -220,6 +304,33 @@ SweepResult::writeJson(std::ostream &os, bool includeWallTime) const
            << ", \"per_node_edges\": \"" << packPerNode(s.perNodeEdges)
            << "\", \"switching_j\": " << fmt(s.switchingJ)
            << ", \"wedged\": " << (s.wedged ? "true" : "false");
+        if (!s.actorStats.empty()) {
+            os << ", \"workload\": \""
+               << sanitizeName(c.spec.workload.name)
+               << "\", \"samples_planned\": " << s.samplesPlanned
+               << ", \"samples_delivered\": " << s.samplesDelivered
+               << ", \"missed_deadlines\": " << s.missedDeadlines
+               << ", \"faults\": " << s.faultsInjected
+               << ", \"retimings\": " << s.retimings
+               << ", \"actors\": [";
+            for (std::size_t k = 0; k < s.actorStats.size(); ++k) {
+                const workload::ActorStats &act = s.actorStats[k];
+                os << (k ? ", " : "") << "{\"name\": \""
+                   << sanitizeName(act.name) << "\", \"kind\": \""
+                   << workload::actorKindName(act.kind)
+                   << "\", \"node\": " << act.node
+                   << ", \"samples\": " << act.samplesDelivered
+                   << ", \"missed\": " << act.missedDeadlines
+                   << ", \"lat_p50_s\": " << fmt(act.latencyP50S)
+                   << ", \"lat_p95_s\": " << fmt(act.latencyP95S)
+                   << ", \"lat_p99_s\": " << fmt(act.latencyP99S)
+                   << ", \"energy_per_sample_j\": "
+                   << fmt(act.energyPerSampleJ)
+                   << ", \"duty_cycle\": " << fmt(act.dutyCycle)
+                   << "}";
+            }
+            os << "]";
+        }
         if (includeWallTime)
             os << ", \"wall_s\": " << fmt(c.wallSeconds);
         os << "}" << (i + 1 < cells_.size() ? "," : "") << "\n";

@@ -84,6 +84,13 @@ struct SweepAggregate
      *  (index i = ring position i; shorter rings contribute to the
      *  prefix they populate). */
     std::vector<std::uint64_t> perNodeEdges;
+
+    // Application-mix reductions (zero unless cells carry workloads).
+    std::uint64_t samplesPlanned = 0;
+    std::uint64_t samplesDelivered = 0;
+    std::uint64_t missedDeadlines = 0;
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t retimings = 0;
 };
 
 /** The aggregated outcome of one sweep. */

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Plan-compilation properties of the workload engine.
+ *
+ * The WorkloadEngine's contract is that the compiled plan is a pure
+ * function of (spec, seed, nodes) and that each actor/schedule draws
+ * from its own Random::split stream: an actor extracted into a solo
+ * spec (with its stream id pinned) plans the identical operations,
+ * independent of which other actors or schedules shared the mix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/workload.hh"
+
+using namespace mbus;
+using workload::ActorKind;
+using workload::ActorSpec;
+using workload::OpKind;
+using workload::PlannedOp;
+using workload::ScheduleKind;
+using workload::ScheduleSpec;
+using workload::WorkloadEngine;
+using workload::WorkloadSpec;
+
+namespace {
+
+WorkloadSpec
+canonicalMix()
+{
+    WorkloadSpec w;
+    w.name = "plan_mix";
+    w.durationS = 3.0;
+
+    ActorSpec sensor;
+    sensor.kind = ActorKind::PeriodicSensor;
+    sensor.node = 1;
+    sensor.dest = 0;
+    sensor.periodS = 0.1;
+    sensor.jitterFrac = 0.2;
+    sensor.payloadBytes = 8;
+    w.actors.push_back(sensor);
+
+    ActorSpec imager;
+    imager.kind = ActorKind::BurstImager;
+    imager.node = 2;
+    imager.dest = 0;
+    imager.periodS = 1.0;
+    imager.payloadBytes = 128;
+    imager.burstBytes = 1000; // Deliberately non-multiple of 128.
+    w.actors.push_back(imager);
+
+    ActorSpec irq;
+    irq.kind = ActorKind::Interrupter;
+    irq.node = 3;
+    irq.dest = 0;
+    irq.periodS = 0.4;
+    irq.priority = true;
+    w.actors.push_back(irq);
+
+    ScheduleSpec storm;
+    storm.kind = ScheduleKind::InterjectionStorm;
+    storm.atS = 1.0;
+    storm.durationS = 1.0;
+    storm.rateHz = 25;
+    w.schedules.push_back(storm);
+
+    ScheduleSpec fault;
+    fault.kind = ScheduleKind::NodeFault;
+    fault.atS = 1.5;
+    fault.durationS = 0.5;
+    w.schedules.push_back(fault);
+    return w;
+}
+
+bool
+sameOp(const PlannedOp &a, const PlannedOp &b)
+{
+    return a.at == b.at && a.kind == b.kind && a.actor == b.actor &&
+           a.schedule == b.schedule && a.node == b.node &&
+           a.dest == b.dest && a.bytes == b.bytes &&
+           a.burst == b.burst && a.frag == b.frag &&
+           a.fragCount == b.fragCount && a.priority == b.priority &&
+           a.sampleAt == b.sampleAt && a.deadline == b.deadline &&
+           a.payloadSeed == b.payloadSeed && a.clockHz == b.clockHz;
+}
+
+} // namespace
+
+TEST(WorkloadPlan, CompilationIsAPureFunctionOfSpecSeedNodes)
+{
+    WorkloadSpec w = canonicalMix();
+    WorkloadEngine a(w, 0xABCDEF, 4);
+    WorkloadEngine b(w, 0xABCDEF, 4);
+    ASSERT_EQ(a.plan().size(), b.plan().size());
+    ASSERT_GT(a.plan().size(), 0u);
+    for (std::size_t i = 0; i < a.plan().size(); ++i)
+        EXPECT_TRUE(sameOp(a.plan()[i], b.plan()[i])) << "op " << i;
+
+    WorkloadEngine c(w, 0xABCDF0, 4);
+    bool anyDiff = c.plan().size() != a.plan().size();
+    for (std::size_t i = 0; !anyDiff && i < a.plan().size(); ++i)
+        anyDiff = !sameOp(a.plan()[i], c.plan()[i]);
+    EXPECT_TRUE(anyDiff) << "different seeds compiled identical plans";
+}
+
+TEST(WorkloadPlan, PlanIsTimeSortedAndCoversEveryActor)
+{
+    WorkloadSpec w = canonicalMix();
+    WorkloadEngine e(w, 7, 4);
+    std::vector<int> sends(w.actors.size(), 0);
+    sim::SimTime last = 0;
+    for (const PlannedOp &op : e.plan()) {
+        EXPECT_GE(op.at, last);
+        last = op.at;
+        if (op.kind == OpKind::Send) {
+            ASSERT_GE(op.actor, 0);
+            ASSERT_LT(static_cast<std::size_t>(op.actor),
+                      sends.size());
+            ++sends[static_cast<std::size_t>(op.actor)];
+            EXPECT_GE(op.deadline, op.at);
+            EXPECT_GE(op.bytes, 1u);
+        }
+    }
+    for (std::size_t i = 0; i < sends.size(); ++i)
+        EXPECT_GT(sends[i], 0) << "actor " << i << " planned nothing";
+}
+
+TEST(WorkloadPlan, ImagerFramesFragmentExactly)
+{
+    WorkloadSpec w = canonicalMix();
+    WorkloadEngine e(w, 99, 4);
+    // Actor 1: 1000 bytes in 128-byte fragments = 7x128 + 1x104.
+    for (const PlannedOp &op : e.plan()) {
+        if (op.kind != OpKind::Send || op.actor != 1)
+            continue;
+        EXPECT_EQ(op.fragCount, 8);
+        EXPECT_EQ(op.bytes, op.frag < 7 ? 128u : 104u);
+    }
+}
+
+TEST(WorkloadPlan, SoloActorWithPinnedStreamDrawsIdenticalOps)
+{
+    WorkloadSpec mix = canonicalMix();
+    WorkloadEngine full(mix, 0x5EED, 4);
+
+    for (std::size_t k = 0; k < mix.actors.size(); ++k) {
+        WorkloadSpec solo;
+        solo.durationS = mix.durationS;
+        ActorSpec a = mix.actors[k];
+        a.stream = static_cast<int>(k); // Pin the RNG stream.
+        solo.actors.push_back(a);
+        WorkloadEngine se(solo, 0x5EED, 4);
+
+        std::vector<PlannedOp> fromMix;
+        for (const PlannedOp &op : full.plan())
+            if (op.kind == OpKind::Send &&
+                op.actor == static_cast<int>(k))
+                fromMix.push_back(op);
+
+        ASSERT_EQ(se.plan().size(), fromMix.size())
+            << "actor " << k << " planned a different op count solo";
+        for (std::size_t i = 0; i < fromMix.size(); ++i) {
+            PlannedOp soloOp = se.plan()[i];
+            // Only the actor index differs by construction (solo
+            // specs hold one actor at index 0).
+            soloOp.actor = fromMix[i].actor;
+            EXPECT_TRUE(sameOp(soloOp, fromMix[i]))
+                << "actor " << k << " op " << i;
+        }
+    }
+}
+
+TEST(WorkloadPlan, SchedulesTargetOnlyMemberNodesForGateAndFault)
+{
+    WorkloadSpec w = canonicalMix();
+    for (int trial = 0; trial < 16; ++trial) {
+        WorkloadEngine e(w, 0x1000u + static_cast<std::uint64_t>(trial),
+                         5);
+        for (const PlannedOp &op : e.plan()) {
+            if (op.kind == OpKind::GateOff ||
+                op.kind == OpKind::GateOn ||
+                op.kind == OpKind::FaultDrop ||
+                op.kind == OpKind::FaultRecover) {
+                EXPECT_GE(op.node, 1u)
+                    << "gate/fault may not target the mediator host";
+            }
+        }
+    }
+}
