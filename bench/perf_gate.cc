@@ -18,6 +18,9 @@
  *    mix (benchutil::canonicalWorkloadCell, the cell workload_mix
  *    documents), events per completed wire data bit through the
  *    workload engine's hot path;
+ *  - i2c_std_mix / bitbang_mix: the same canonical mix through the
+ *    transactional-I2C and mixed bit-banged-ring backends, gating
+ *    the scheduler cost of the non-MBus fabrics;
  *
  * and fails if any metric regresses more than 10% over the
  * checked-in baseline (bench/perf_baseline.json). Regenerate the
@@ -106,19 +109,23 @@ fig9EventsPerBit()
     return out;
 }
 
-/** The workload-engine hot path: one deterministic canonical-mix
- *  cell (CI-sized), events per completed wire data bit. */
+/** One deterministic canonical-mix cell (CI-sized) through @p kind,
+ *  events per completed wire data bit. The bitbang fabric needs a
+ *  3-chip ring (the software member caps the population we gate). */
 double
-workloadMixEventsPerBit()
+backendMixEventsPerBit(backend::BackendKind kind)
 {
+    int nodes = kind == backend::BackendKind::Bitbang ? 3 : 4;
     sweep::ScenarioSpec spec = benchutil::canonicalWorkloadCell(
-        /*nodes=*/4, /*clockHz=*/400e3, /*stormFrac=*/0.10,
+        nodes, /*clockHz=*/400e3, /*stormFrac=*/0.10,
         /*smoke=*/true);
+    spec.backend = kind;
     sweep::ScenarioStats st = sweep::runScenario(spec, 0x6d6978ULL);
     if (st.wedged || st.eventsPerBit <= 0 ||
         st.samplesDelivered == 0) {
         std::fprintf(stderr,
-                     "FAIL: workload_mix cell produced no events/bit\n");
+                     "FAIL: %s mix cell produced no events/bit\n",
+                     backend::backendKindName(kind));
         std::exit(1);
     }
     return st.eventsPerBit;
@@ -163,7 +170,15 @@ main(int argc, char **argv)
     metrics.push_back({"forward_ring", forwardRingEventsPerEdge()});
     for (Metric &m : fig9EventsPerBit())
         metrics.push_back(m);
-    metrics.push_back({"workload_mix", workloadMixEventsPerBit()});
+    metrics.push_back(
+        {"workload_mix",
+         backendMixEventsPerBit(backend::BackendKind::Mbus)});
+    metrics.push_back(
+        {"i2c_std_mix",
+         backendMixEventsPerBit(backend::BackendKind::I2cStd)});
+    metrics.push_back(
+        {"bitbang_mix",
+         backendMixEventsPerBit(backend::BackendKind::Bitbang)});
 
     if (!writePath.empty()) {
         std::ofstream out(writePath);

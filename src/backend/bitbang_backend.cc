@@ -1,0 +1,317 @@
+#include "backend/bitbang_backend.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "mbus/layer_controller.hh"
+#include "mbus/system.hh"
+#include "power/constants.hh"
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace backend {
+
+namespace {
+
+/** Fraction of the mixed-ring clock envelope the backend runs at;
+ *  headroom for back-to-back CLK/DATA ISRs serializing on the one
+ *  CPU (MixedRing budgets 2.5x the worst path for the same reason). */
+constexpr double kClockHeadroom = 0.8;
+
+} // namespace
+
+BitbangBackend::BitbangBackend(sim::Simulator &sim,
+                               const BusParams &params)
+    : sim_(sim), params_(params),
+      nodes_(static_cast<std::size_t>(params.nodes)),
+      ledger_(nodes_),
+      energy_(power::kSimCalibration,
+              2 * power::kPadCapF +
+                  (params.wireCapF >= 0 ? params.wireCapF
+                                        : power::kWireCapF))
+{
+    if (params.nodes < 3 || params.nodes > 14)
+        mbus_fatal("bitbang backend needs 3..14 nodes, got ",
+                   params.nodes);
+
+    bitbang::BitbangMbus::Config bbCfg;
+    bbCfg.shortPrefix = static_cast<std::uint8_t>(nodes_);
+
+    cfg_.hopDelay =
+        static_cast<sim::SimTime>(params.hopDelayNs * 1000.0 + 0.5);
+    cfg_.wireCapF = params.wireCapF;
+    cfg_.dataLanes = 1; // The four-GPIO member is single-lane.
+    // The software member's response latency dominates the ring
+    // round trip (same 2.5x budget MixedRing uses).
+    cfg_.extraRingLatency = 2 * bbCfg.cost.responseLatency() +
+                            bbCfg.cost.responseLatency() / 2;
+    cfg_.busClockHz =
+        std::min(params.busClockHz, kClockHeadroom * maxSafeClockHz());
+
+    for (std::size_t i = 0; i < nodes_; ++i) {
+        std::string base = "n" + std::to_string(i);
+        clkSegs_.push_back(std::make_unique<wire::Net>(
+            sim_, base + ".CLK_OUT", cfg_.hopDelay, true));
+        dataSegs_.push_back(std::make_unique<wire::Net>(
+            sim_, base + ".DATA_OUT", cfg_.hopDelay, true));
+    }
+
+    // Hardware chips 0..n-2; the software member drives segment n-1.
+    for (std::size_t i = 0; i + 1 < nodes_; ++i) {
+        bus::NodeConfig nc;
+        nc.name = "n" + std::to_string(i);
+        nc.fullPrefix = 0x500u + static_cast<std::uint32_t>(i);
+        nc.staticShortPrefix = static_cast<std::uint8_t>(i + 1);
+        nc.powerGated = i != 0 && params.powerGated;
+        nc.broadcastChannels |= 1u << bus::kChannelUserBase;
+        nc.dataLanes = 1;
+        hw_.push_back(std::make_unique<bus::Node>(
+            sim_, cfg_, std::move(nc), i, ledger_, energy_));
+    }
+
+    for (std::size_t i = 0; i < nodes_; ++i) {
+        taps_.push_back(std::make_unique<SegmentTap>(
+            *this, i, power::EnergyCategory::SegmentClk));
+        clkSegs_[i]->listen(wire::Edge::Any, *taps_.back());
+        taps_.push_back(std::make_unique<SegmentTap>(
+            *this, i, power::EnergyCategory::SegmentData));
+        dataSegs_[i]->listen(wire::Edge::Any, *taps_.back());
+    }
+
+    link_ = std::make_unique<bus::MediatorHostLink>();
+    for (std::size_t i = 0; i + 1 < nodes_; ++i) {
+        std::size_t prev = (i + nodes_ - 1) % nodes_;
+        hw_[i]->bind(*clkSegs_[prev], *clkSegs_[i], *dataSegs_[prev],
+                     *dataSegs_[i], {}, {}, /*isMediatorHost=*/i == 0,
+                     i == 0 ? link_.get() : nullptr);
+    }
+    bitbang_ = std::make_unique<bitbang::BitbangMbus>(
+        sim_, bbCfg, *clkSegs_[nodes_ - 2], *clkSegs_[nodes_ - 1],
+        *dataSegs_[nodes_ - 2], *dataSegs_[nodes_ - 1]);
+
+    bus::Mediator::Context mctx{sim_,
+                                cfg_,
+                                *clkSegs_[nodes_ - 1],
+                                *dataSegs_[nodes_ - 1],
+                                hw_[0]->clkWireController(),
+                                hw_[0]->dataWireController(),
+                                ledger_,
+                                energy_,
+                                /*nodeId=*/0,
+                                /*ringSize=*/nodes_,
+                                *link_};
+    mediator_ = std::make_unique<bus::Mediator>(std::move(mctx));
+    mediator_->arm();
+    link_->requestInterjection = [this] {
+        mediator_->hostInterjectionRequest();
+    };
+
+    // The host applies config-channel clock retiming, as in
+    // MBusSystem::handleConfigBroadcast.
+    hw_[0]->layer().addPreDispatchHandler(
+        [this](const bus::ReceivedMessage &rx) {
+            if (!rx.dest.isBroadcast() ||
+                rx.dest.channel() != bus::kChannelConfig)
+                return false;
+            if (rx.payload.size() >= 5 &&
+                rx.payload[0] == bus::kConfigCmdClockHz) {
+                std::uint32_t hz =
+                    (std::uint32_t(rx.payload[1]) << 24) |
+                    (std::uint32_t(rx.payload[2]) << 16) |
+                    (std::uint32_t(rx.payload[3]) << 8) |
+                    std::uint32_t(rx.payload[4]);
+                if (static_cast<double>(hz) <=
+                    kClockHeadroom * maxSafeClockHz())
+                    cfg_.busClockHz = hz;
+            }
+            return true;
+        });
+}
+
+double
+BitbangBackend::maxSafeClockHz() const
+{
+    double hop_s = sim::toSeconds(cfg_.hopDelay);
+    double half_period_floor =
+        hop_s * (static_cast<double>(nodes_) + 2.0) +
+        sim::toSeconds(cfg_.extraRingLatency);
+    return 1.0 / (2.0 * half_period_floor);
+}
+
+void
+BitbangBackend::send(std::size_t node, bus::Message msg,
+                     bus::SendCallback cb)
+{
+    if (isSoft(node)) {
+        bitbang_->send(std::move(msg), std::move(cb));
+        return;
+    }
+    hw_[node]->send(std::move(msg), std::move(cb));
+}
+
+void
+BitbangBackend::interject(std::size_t node)
+{
+    // The simplified software engine cannot raise a third-party
+    // interjection; only hardware members stomp the bus.
+    if (!isSoft(node))
+        hw_[node]->interject();
+}
+
+void
+BitbangBackend::sleep(std::size_t node)
+{
+    // The software member's MCU polls its GPIOs and never gates.
+    if (!isSoft(node))
+        hw_[node]->sleep();
+}
+
+void
+BitbangBackend::wake(std::size_t node)
+{
+    if (!isSoft(node))
+        hw_[node]->wake();
+}
+
+std::size_t
+BitbangBackend::pendingTx(std::size_t node) const
+{
+    if (isSoft(node))
+        return bitbang_->pendingTx();
+    return hw_[node]->busController().pendingTx();
+}
+
+void
+BitbangBackend::retime(std::size_t node, double clockHz,
+                       std::function<void()> done)
+{
+    double target =
+        std::min(clockHz, kClockHeadroom * maxSafeClockHz());
+    send(node, makeRetimeMessage(static_cast<std::uint32_t>(target)),
+         [done](const bus::TxResult &) {
+             if (done)
+                 done();
+         });
+}
+
+bus::Address
+BitbangBackend::unicastAddress(std::size_t node, bool fullAddressing,
+                               std::uint8_t fuId) const
+{
+    if (fullAddressing && !isSoft(node))
+        return bus::Address::fullAddr(
+            0x500u + static_cast<std::uint32_t>(node), fuId);
+    // The software member decodes short addresses only.
+    return bus::Address::shortAddr(
+        static_cast<std::uint8_t>(node + 1), fuId);
+}
+
+void
+BitbangBackend::setDeliveryHandler(DeliveryHandler h)
+{
+    for (std::size_t i = 0; i + 1 < nodes_; ++i) {
+        bus::LayerController &layer = hw_[i]->layer();
+        if (!h) {
+            layer.setMailboxHandler(nullptr);
+            layer.setBroadcastHandler(nullptr);
+            continue;
+        }
+        layer.setMailboxHandler(
+            [h, i](const bus::ReceivedMessage &rx) { h(i, rx); });
+        layer.setBroadcastHandler(
+            [h, i](std::uint8_t channel,
+                   const bus::ReceivedMessage &rx) {
+                if (channel >= bus::kChannelUserBase)
+                    h(i, rx);
+            });
+    }
+    if (!h) {
+        bitbang_->setReceiveCallback(nullptr);
+        return;
+    }
+    std::size_t soft = softIndex();
+    bitbang_->setReceiveCallback(
+        [h, soft](const bus::ReceivedMessage &rx) { h(soft, rx); });
+}
+
+bool
+BitbangBackend::runUntilIdle(sim::SimTime timeout)
+{
+    sim::SimTime limit = timeout == sim::kTimeForever
+                             ? sim::kTimeForever
+                             : sim_.now() + timeout;
+    return sim_.runUntil(
+        [this] {
+            if (!mediator_->asleep() || !bitbang_->idle())
+                return false;
+            for (auto &n : hw_) {
+                if (n->sleepController().transactionActive() ||
+                    n->busController().pendingTx() > 0)
+                    return false;
+            }
+            return true;
+        },
+        limit);
+}
+
+void
+BitbangBackend::attachTrace(sim::TraceRecorder &recorder)
+{
+    for (auto &seg : clkSegs_)
+        seg->trace(recorder);
+    for (auto &seg : dataSegs_)
+        seg->trace(recorder);
+}
+
+double
+BitbangBackend::softCpuEnergyJ() const
+{
+    return static_cast<double>(bitbang_->stats().cyclesSpent) *
+           power::kProcessorEnergyPerCycleJ;
+}
+
+double
+BitbangBackend::switchingJ() const
+{
+    return ledger_.total() + softCpuEnergyJ();
+}
+
+double
+BitbangBackend::leakageJ() const
+{
+    return power::kIdleLeakagePerChipW *
+           static_cast<double>(nodes_) * sim::toSeconds(sim_.now());
+}
+
+double
+BitbangBackend::nodeEnergyJ(std::size_t node) const
+{
+    double j = ledger_.nodeTotal(node);
+    if (isSoft(node))
+        j += softCpuEnergyJ();
+    return j;
+}
+
+double
+BitbangBackend::poweredSeconds(std::size_t node) const
+{
+    if (isSoft(node))
+        return sim::toSeconds(sim_.now()); // Always-on MCU.
+    return sim::toSeconds(hw_[node]->layerDomain().poweredTime());
+}
+
+std::uint64_t
+BitbangBackend::nodeEdges(std::size_t node) const
+{
+    return clkSegs_[node]->transitions() +
+           dataSegs_[node]->transitions();
+}
+
+std::uint64_t
+BitbangBackend::clockCycles() const
+{
+    return mediator_->stats().clockCycles;
+}
+
+} // namespace backend
+} // namespace mbus

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * BusBackend over a mixed hardware/software MBus ring (Sec 6.6).
+ *
+ * Generalizes bitbang::MixedRing to any ring population: nodes
+ * 0..n-2 are hardware MBus chips (node 0 hosts the mediator), node
+ * n-1 is the four-GPIO bit-banged software member. The software
+ * member's ISR response latency is charged to the ring budget via
+ * SystemConfig::extraRingLatency and throttles the whole fabric --
+ * the bus clock is clamped to a conservative fraction of the mixed
+ * ring's envelope, which is why this backend's workloads top out
+ * near the paper's ~120 kHz software ceiling instead of megahertz.
+ *
+ * Energy: every ring-segment transition charges the driving chip
+ * through the shared CV^2 model (the same taps MBusSystem installs),
+ * and the software member's ISR cycles are additionally priced at
+ * the Sec 6.3.1 per-cycle CPU energy -- the software-implementation
+ * tax the paper quantifies.
+ */
+
+#ifndef MBUS_BACKEND_BITBANG_BACKEND_HH
+#define MBUS_BACKEND_BITBANG_BACKEND_HH
+
+#include <memory>
+#include <vector>
+
+#include "backend/backend.hh"
+#include "bitbang/bitbang_mbus.hh"
+#include "mbus/mediator.hh"
+#include "mbus/node.hh"
+#include "power/energy.hh"
+#include "power/switching.hh"
+
+namespace mbus {
+namespace backend {
+
+/** The mixed hardware + bit-banged-member fabric. */
+class BitbangBackend final : public BusBackend
+{
+  public:
+    BitbangBackend(sim::Simulator &sim, const BusParams &params);
+
+    BackendKind kind() const override { return BackendKind::Bitbang; }
+    std::size_t nodeCount() const override { return nodes_; }
+    double busClockHz() const override { return cfg_.busClockHz; }
+    double maxSafeClockHz() const override;
+
+    void send(std::size_t node, bus::Message msg,
+              bus::SendCallback cb) override;
+    void interject(std::size_t node) override;
+    void sleep(std::size_t node) override;
+    void wake(std::size_t node) override;
+    std::size_t pendingTx(std::size_t node) const override;
+    void retime(std::size_t node, double clockHz,
+                std::function<void()> done) override;
+    bus::Address unicastAddress(std::size_t node, bool fullAddressing,
+                                std::uint8_t fuId) const override;
+
+    void setDeliveryHandler(DeliveryHandler h) override;
+
+    bool runUntilIdle(sim::SimTime timeout) override;
+    void attachTrace(sim::TraceRecorder &recorder) override;
+
+    double switchingJ() const override;
+    double leakageJ() const override;
+    double nodeEnergyJ(std::size_t node) const override;
+    double poweredSeconds(std::size_t node) const override;
+    std::uint64_t nodeEdges(std::size_t node) const override;
+    std::uint64_t clockCycles() const override;
+
+    /** The software member (stats, ISR diagnostics). */
+    bitbang::BitbangMbus &softNode() { return *bitbang_; }
+
+    /** Index of the software member on the ring (n - 1). */
+    std::size_t softIndex() const { return nodes_ - 1; }
+
+  private:
+    /** CV^2 tap charging the driving chip per segment transition
+     *  (the same shape MBusSystem::SegmentEnergyTap has). */
+    struct SegmentTap final : wire::EdgeListener
+    {
+        SegmentTap(BitbangBackend &b, std::size_t n,
+                   power::EnergyCategory c)
+            : backend(&b), nodeId(n), category(c)
+        {}
+        void
+        onNetEdge(wire::Net &, bool) override
+        {
+            backend->ledger_.charge(nodeId, category,
+                                    backend->energy_.segmentEdge());
+        }
+        BitbangBackend *backend;
+        std::size_t nodeId;
+        power::EnergyCategory category;
+    };
+
+    bool isSoft(std::size_t node) const { return node == nodes_ - 1; }
+    double softCpuEnergyJ() const;
+
+    sim::Simulator &sim_;
+    BusParams params_;
+    std::size_t nodes_;
+    bus::SystemConfig cfg_;
+    power::EnergyLedger ledger_;
+    power::SwitchingEnergyModel energy_;
+
+    std::vector<std::unique_ptr<wire::Net>> clkSegs_;
+    std::vector<std::unique_ptr<wire::Net>> dataSegs_;
+    std::vector<std::unique_ptr<bus::Node>> hw_;
+    std::unique_ptr<bitbang::BitbangMbus> bitbang_;
+    std::vector<std::unique_ptr<SegmentTap>> taps_;
+    std::unique_ptr<bus::MediatorHostLink> link_;
+    std::unique_ptr<bus::Mediator> mediator_;
+};
+
+} // namespace backend
+} // namespace mbus
+
+#endif // MBUS_BACKEND_BITBANG_BACKEND_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * BusBackend over a transactional I2C bus.
+ *
+ * Promotes the analytic I2cModel (Secs 2.1, 6.2) from closed-form
+ * per-message formulas into an event-kernel bus the sweep and
+ * workload machinery can drive:
+ *
+ *  - transactions serialize on one shared SDA/SCL pair, FIFO in
+ *    request order (the single-master discipline most nanopower
+ *    deployments use; a queued sender is a master waiting for a
+ *    free bus);
+ *  - framing follows Table 1: START + 7-bit address + R/W + address
+ *    ACK = 10 SCL cycles, then 9 cycles per payload byte (8 data +
+ *    ACK), totalling I2cModel::totalBits() cycles per message, so
+ *    the event bus and the analytic model agree bit-for-bit;
+ *  - pull-up energy is charged per SCL cycle through the energy
+ *    ledger (dump + charge loss + low-phase loss, plus the
+ *    worst-case SDA provisioning of Sec 3), to the driving master;
+ *  - addressing a power-gated receiver stretches the clock while
+ *    the receiver's layer walks its wakeup ladder -- SCL held low
+ *    burns low-phase resistor energy the whole time, charged to the
+ *    stretching receiver. This is the always-on-interface tax the
+ *    paper contrasts with MBus's wakeup-by-arbitration;
+ *  - interject() models a bus stomp: the in-flight transaction
+ *    aborts with TxStatus::Interrupted and the receiver sees a
+ *    truncated, interjected delivery (I2C has no protocol-level
+ *    interjection, which is exactly the comparison point).
+ *
+ * Two sizing disciplines (I2cSizing): Standard sizes the pull-up for
+ * the fixed 300 ns fast-mode rise budget; Oracle knows the true bus
+ * capacitance and spends the full half-cycle on the rise (Sec 6.2).
+ */
+
+#ifndef MBUS_BACKEND_I2C_BACKEND_HH
+#define MBUS_BACKEND_I2C_BACKEND_HH
+
+#include <deque>
+#include <vector>
+
+#include "backend/backend.hh"
+#include "baseline/i2c.hh"
+#include "power/energy.hh"
+
+namespace mbus {
+namespace backend {
+
+/** Clock ceilings for the two pull-up sizing disciplines. */
+constexpr double kI2cStdMaxClockHz = 1.0e6;    ///< Fast-mode+ limit.
+constexpr double kI2cOracleMaxClockHz = 10.0e6; ///< Relaxed (Sec 6.2).
+
+/** SCL cycles a gated receiver stretches while its layer wakes
+ *  (START condition to address ACK hold; Sec 2.5's hand-tuned guard
+ *  time, expressed in bus cycles). */
+constexpr std::uint32_t kI2cWakeStretchCycles = 16;
+
+/** The transactional-I2C fabric. */
+class I2cBackend final : public BusBackend
+{
+  public:
+    I2cBackend(sim::Simulator &sim, const BusParams &params,
+               baseline::I2cSizing sizing);
+
+    BackendKind kind() const override
+    {
+        return sizing_ == baseline::I2cSizing::Oracle
+                   ? BackendKind::I2cOracle
+                   : BackendKind::I2cStd;
+    }
+    std::size_t nodeCount() const override { return nodes_.size(); }
+    double busClockHz() const override { return clockHz_; }
+    double maxSafeClockHz() const override;
+
+    void send(std::size_t node, bus::Message msg,
+              bus::SendCallback cb) override;
+    void interject(std::size_t node) override;
+    void sleep(std::size_t node) override;
+    void wake(std::size_t node) override;
+    std::size_t pendingTx(std::size_t node) const override;
+    void retime(std::size_t node, double clockHz,
+                std::function<void()> done) override;
+    bus::Address unicastAddress(std::size_t node, bool fullAddressing,
+                                std::uint8_t fuId) const override;
+
+    void setDeliveryHandler(DeliveryHandler h) override;
+
+    bool runUntilIdle(sim::SimTime timeout) override;
+    void attachTrace(sim::TraceRecorder &recorder) override;
+
+    double switchingJ() const override { return ledger_.total(); }
+    double leakageJ() const override;
+    double nodeEnergyJ(std::size_t node) const override;
+    double poweredSeconds(std::size_t node) const override;
+    std::uint64_t nodeEdges(std::size_t node) const override;
+    std::uint64_t clockCycles() const override { return cycles_; }
+
+    /** The analytic model this bus is calibrated against. */
+    const baseline::I2cModel &model() const { return model_; }
+
+    /** Transactions aborted by interject() so far. */
+    std::uint64_t aborts() const { return aborts_; }
+
+  private:
+    struct Transaction
+    {
+        std::size_t node = 0;   ///< Master (sender).
+        bus::Message msg;
+        bus::SendCallback cb;
+        bool internal = false;  ///< Retime carrier, not app traffic.
+        double retimeHz = 0;
+        std::function<void()> retimeDone;
+    };
+
+    struct NodeState
+    {
+        bool gated = false;  ///< May sleep at all (mirrors MBus).
+        bool asleep = false;
+        sim::SimTime awakeSince = 0;
+        sim::SimTime poweredAccum = 0;
+        std::size_t pending = 0;     ///< Queued + active sends.
+        std::uint64_t cyclesDriven = 0; ///< SCL cycles as master.
+    };
+
+    /** Resolve a destination address to a node index; nodes_.size()
+     *  when unmatched (-> NAK). */
+    std::size_t resolveDest(const bus::Address &addr) const;
+
+    void pump();      ///< Start the next queued transaction, if idle.
+    void startActive();
+    void byteDone(std::uint64_t epoch, std::size_t index);
+    void finishActive(bus::TxStatus status, std::size_t bytesDone);
+    void chargeCycles(std::size_t node, std::uint64_t n);
+    void setBusy(bool busy);
+
+    sim::Simulator &sim_;
+    BusParams params_;
+    baseline::I2cSizing sizing_;
+    baseline::I2cModel model_;
+    power::EnergyLedger ledger_;
+    double clockHz_;
+
+    std::vector<NodeState> nodes_;
+    std::deque<Transaction> queue_;
+    bool active_ = false;
+    Transaction current_;
+    std::uint64_t epoch_ = 0;   ///< Stale-event guard for aborts.
+    std::size_t bytesDone_ = 0;
+    bool pumpScheduled_ = false;
+
+    std::uint64_t cycles_ = 0;
+    std::uint64_t aborts_ = 0;
+
+    DeliveryHandler handler_;
+    sim::TraceRecorder *recorder_ = nullptr;
+    sim::TraceRecorder::SignalId busyId_ = 0;
+    std::vector<sim::TraceRecorder::SignalId> awakeIds_;
+};
+
+} // namespace backend
+} // namespace mbus
+
+#endif // MBUS_BACKEND_I2C_BACKEND_HH

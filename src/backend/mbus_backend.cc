@@ -1,0 +1,170 @@
+#include "backend/mbus_backend.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "mbus/layer_controller.hh"
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace backend {
+
+MbusBackend::MbusBackend(sim::Simulator &sim, const BusParams &params)
+    : params_(params)
+{
+    bus::SystemConfig cfg;
+    cfg.busClockHz = params.busClockHz;
+    cfg.hopDelay =
+        static_cast<sim::SimTime>(params.hopDelayNs * 1000.0 + 0.5);
+    cfg.dataLanes = params.dataLanes;
+    cfg.wireCapF = params.wireCapF;
+    cfg.edgeTrains = params.edgeTrains;
+
+    system_ = std::make_unique<bus::MBusSystem>(sim, cfg);
+    for (int i = 0; i < params.nodes; ++i) {
+        bus::NodeConfig nc;
+        nc.name = "n" + std::to_string(i);
+        nc.fullPrefix = 0x500u + static_cast<std::uint32_t>(i);
+        nc.staticShortPrefix = static_cast<std::uint8_t>(i + 1);
+        // Node 0 hosts the mediator and stays on; members follow the
+        // params so gated cells exercise the bus-driven wakeup path.
+        nc.powerGated = i != 0 && params.powerGated;
+        nc.broadcastChannels |= 1u << bus::kChannelUserBase;
+        system_->addNode(nc);
+    }
+    system_->finalize();
+}
+
+void
+MbusBackend::send(std::size_t node, bus::Message msg,
+                  bus::SendCallback cb)
+{
+    system_->node(node).send(std::move(msg), std::move(cb));
+}
+
+void
+MbusBackend::interject(std::size_t node)
+{
+    system_->node(node).interject();
+}
+
+void
+MbusBackend::sleep(std::size_t node)
+{
+    system_->node(node).sleep();
+}
+
+void
+MbusBackend::wake(std::size_t node)
+{
+    system_->node(node).wake();
+}
+
+std::size_t
+MbusBackend::pendingTx(std::size_t node) const
+{
+    return system_->node(node).busController().pendingTx();
+}
+
+void
+MbusBackend::retime(std::size_t node, double clockHz,
+                    std::function<void()> done)
+{
+    double target =
+        std::min(clockHz, 0.999 * system_->maxSafeClockHz());
+    system_->node(node).send(
+        makeRetimeMessage(static_cast<std::uint32_t>(target)),
+        [done](const bus::TxResult &) {
+            if (done)
+                done();
+        });
+}
+
+bus::Address
+MbusBackend::unicastAddress(std::size_t node, bool fullAddressing,
+                            std::uint8_t fuId) const
+{
+    if (fullAddressing)
+        return system_->node(node).fullAddress(fuId);
+    return bus::Address::shortAddr(
+        static_cast<std::uint8_t>(node + 1), fuId);
+}
+
+void
+MbusBackend::setDeliveryHandler(DeliveryHandler h)
+{
+    for (std::size_t i = 0; i < system_->nodeCount(); ++i) {
+        bus::LayerController &layer = system_->node(i).layer();
+        if (!h) {
+            layer.setMailboxHandler(nullptr);
+            layer.setBroadcastHandler(nullptr);
+            continue;
+        }
+        layer.setMailboxHandler(
+            [h, i](const bus::ReceivedMessage &rx) { h(i, rx); });
+        layer.setBroadcastHandler(
+            [h, i](std::uint8_t channel,
+                   const bus::ReceivedMessage &rx) {
+                // Enumeration/config broadcasts (channels 0/1) are
+                // system traffic, not application deliveries.
+                if (channel >= bus::kChannelUserBase)
+                    h(i, rx);
+            });
+    }
+}
+
+bool
+MbusBackend::runUntilIdle(sim::SimTime timeout)
+{
+    return system_->runUntilIdle(timeout);
+}
+
+void
+MbusBackend::attachTrace(sim::TraceRecorder &recorder)
+{
+    system_->attachTrace(recorder);
+}
+
+double
+MbusBackend::switchingJ() const
+{
+    return system_->ledger().total();
+}
+
+double
+MbusBackend::leakageJ() const
+{
+    return system_->idleLeakageJ();
+}
+
+double
+MbusBackend::nodeEnergyJ(std::size_t node) const
+{
+    return system_->ledger().nodeTotal(node);
+}
+
+double
+MbusBackend::poweredSeconds(std::size_t node) const
+{
+    return sim::toSeconds(
+        system_->node(node).layerDomain().poweredTime());
+}
+
+std::uint64_t
+MbusBackend::nodeEdges(std::size_t node) const
+{
+    std::uint64_t edges = system_->clkSegment(node).transitions() +
+                          system_->dataSegment(node).transitions();
+    for (int l = 1; l < system_->config().dataLanes; ++l)
+        edges += system_->laneSegment(l, node).transitions();
+    return edges;
+}
+
+std::uint64_t
+MbusBackend::clockCycles() const
+{
+    return system_->mediator().stats().clockCycles;
+}
+
+} // namespace backend
+} // namespace mbus

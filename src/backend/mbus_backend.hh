@@ -1,0 +1,78 @@
+/**
+ * @file
+ * BusBackend over the simulated hardware MBus ring.
+ *
+ * A thin, behaviour-preserving veneer: construction builds the same
+ * MBusSystem (same node configs, same finalize order, hence the same
+ * interned net names and VCD signal order) the scenario layer built
+ * before the backend seam existed, and every operation forwards to
+ * the node APIs directly. The backend determinism tests pin stats
+ * and VCD bytes against pre-refactor captures.
+ */
+
+#ifndef MBUS_BACKEND_MBUS_BACKEND_HH
+#define MBUS_BACKEND_MBUS_BACKEND_HH
+
+#include <memory>
+
+#include "backend/backend.hh"
+#include "mbus/system.hh"
+
+namespace mbus {
+namespace backend {
+
+/** The hardware-MBus fabric. */
+class MbusBackend final : public BusBackend
+{
+  public:
+    MbusBackend(sim::Simulator &sim, const BusParams &params);
+
+    BackendKind kind() const override { return BackendKind::Mbus; }
+    std::size_t nodeCount() const override
+    {
+        return system_->nodeCount();
+    }
+    double busClockHz() const override
+    {
+        return system_->config().busClockHz;
+    }
+    double maxSafeClockHz() const override
+    {
+        return system_->maxSafeClockHz();
+    }
+
+    void send(std::size_t node, bus::Message msg,
+              bus::SendCallback cb) override;
+    void interject(std::size_t node) override;
+    void sleep(std::size_t node) override;
+    void wake(std::size_t node) override;
+    std::size_t pendingTx(std::size_t node) const override;
+    void retime(std::size_t node, double clockHz,
+                std::function<void()> done) override;
+    bus::Address unicastAddress(std::size_t node, bool fullAddressing,
+                                std::uint8_t fuId) const override;
+
+    void setDeliveryHandler(DeliveryHandler h) override;
+
+    bool runUntilIdle(sim::SimTime timeout) override;
+    void attachTrace(sim::TraceRecorder &recorder) override;
+
+    double switchingJ() const override;
+    double leakageJ() const override;
+    double nodeEnergyJ(std::size_t node) const override;
+    double poweredSeconds(std::size_t node) const override;
+    std::uint64_t nodeEdges(std::size_t node) const override;
+    std::uint64_t clockCycles() const override;
+
+    /** The wrapped system, for MBus-specific benches and tests. */
+    bus::MBusSystem &system() { return *system_; }
+
+  private:
+    BusParams params_;
+    std::unique_ptr<bus::MBusSystem> system_;
+};
+
+} // namespace backend
+} // namespace mbus
+
+#endif // MBUS_BACKEND_MBUS_BACKEND_HH

@@ -14,10 +14,17 @@ BitbangMbus::BitbangMbus(sim::Simulator &sim, Config cfg,
     : sim_(sim), cfg_(cfg), clkIn_(clkIn), clkOut_(clkOut),
       dataIn_(dataIn), dataOut_(dataOut)
 {
-    clkIn_.subscribe(wire::Edge::Any,
-                     [this](bool level) { onClkEdge(level); });
-    dataIn_.subscribe(wire::Edge::Any,
-                      [this](bool level) { onDataEdge(level); });
+    clkIn_.listen(wire::Edge::Any, *this);
+    dataIn_.listen(wire::Edge::Any, *this);
+}
+
+void
+BitbangMbus::onNetEdge(wire::Net &net, bool value)
+{
+    if (&net == &clkIn_)
+        onClkEdge(value);
+    else
+        onDataEdge(value);
 }
 
 void
@@ -107,12 +114,15 @@ BitbangMbus::clkIsrBody(bool level)
                     ++stats_.messagesSent;
                     if (tx.cb) {
                         bus::TxResult result;
+                        // {1,0} ACK, {1,1} NAK, {0,1} interrupted by
+                        // a third party, {0,0} general error -- the
+                        // hardware controller's code points.
                         result.status =
-                            (ctlBit0_ && !bit1)
-                                ? bus::TxStatus::Ack
-                                : (ctlBit0_ ? bus::TxStatus::Nak
-                                            : bus::TxStatus::
-                                                  GeneralError);
+                            ctlBit0_
+                                ? (!bit1 ? bus::TxStatus::Ack
+                                         : bus::TxStatus::Nak)
+                                : (bit1 ? bus::TxStatus::Interrupted
+                                        : bus::TxStatus::GeneralError);
                         result.bytesSent = tx.msg.payload.size();
                         result.completedAt = sim_.now();
                         auto cb = std::move(tx.cb);
@@ -133,11 +143,15 @@ BitbangMbus::clkIsrBody(bool level)
             }
         } else {
             std::uint32_t fc = falling_ - ctlFalling_;
-            if (fc == 2 && iAmInterjector_) {
+            if (fc == 2 && (role_ == Role::Tx || iAmInterjector_)) {
+                // Bit 0: the transmitter signals clean end-of-message
+                // by driving high; a transmitter cut by a third party
+                // drives low (mirrors the hardware controller, so the
+                // receiver flags the truncated delivery).
                 fwdData_ = false;
-                dataOut_.drive(true); // Bit 0: end of message.
+                dataOut_.drive(iAmInterjector_);
             } else if (fc == 3) {
-                if (iAmInterjector_) {
+                if (role_ == Role::Tx || iAmInterjector_) {
                     fwdData_ = true;
                     dataOut_.drive(dataIn_.value());
                 }

@@ -42,8 +42,12 @@ struct BitbangStats
 
 /**
  * A software MBus member node on four GPIO pins.
+ *
+ * The node is the edge listener for both of its input pins ("two
+ * must have edge-triggered interrupt support"); it branches on net
+ * identity, so fanout stays allocation-free.
  */
-class BitbangMbus
+class BitbangMbus : private wire::EdgeListener
 {
   public:
     struct Config
@@ -70,7 +74,20 @@ class BitbangMbus
     /** Worst ISR path actually exercised, in cycles. */
     int maxObservedPathCycles() const { return maxPathCycles_; }
 
+    /** Messages queued but not yet terminally resolved. */
+    std::size_t pendingTx() const { return txQueue_.size(); }
+
+    /** True when the engine sees an idle bus and has nothing queued. */
+    bool
+    idle() const
+    {
+        return phase_ == Phase::Idle && txQueue_.empty();
+    }
+
   private:
+    /** Edge-interrupt entry for both input pins (wire::EdgeListener). */
+    void onNetEdge(wire::Net &net, bool value) override;
+
     enum class Phase : std::uint8_t {
         Idle,
         Active,

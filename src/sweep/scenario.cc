@@ -7,7 +7,10 @@
 #include <sstream>
 #include <vector>
 
-#include "mbus/system.hh"
+#include "analysis/lifetime.hh"
+#include "backend/backend.hh"
+#include "mbus/layer_controller.hh"
+#include "mbus/message.hh"
 #include "sim/logging.hh"
 #include "sim/vcd.hh"
 
@@ -71,7 +74,7 @@ struct PlannedTx
  * seed regardless of how callbacks interleave.
  */
 std::vector<PlannedTx>
-makePlan(const ScenarioSpec &spec, bus::MBusSystem &system,
+makePlan(const ScenarioSpec &spec, backend::BusBackend &backend,
          sim::Random &rng)
 {
     std::size_t n = static_cast<std::size_t>(spec.nodes);
@@ -82,29 +85,22 @@ makePlan(const ScenarioSpec &spec, bus::MBusSystem &system,
         switch (spec.traffic) {
         case TrafficPattern::SingleSender:
             tx.sender = n >= 3 ? 1 : 0;
-            tx.dest = spec.fullAddressing
-                          ? system.node(n - 1).fullAddress(bus::kFuMailbox)
-                          : bus::Address::shortAddr(
-                                static_cast<std::uint8_t>(n),
-                                bus::kFuMailbox);
+            tx.dest = backend.unicastAddress(n - 1, spec.fullAddressing,
+                                             bus::kFuMailbox);
             break;
         case TrafficPattern::RandomPairs: {
             tx.sender = rng.below(n);
             std::size_t d = rng.below(n - 1);
             if (d >= tx.sender)
                 ++d;
-            tx.dest = spec.fullAddressing
-                          ? system.node(d).fullAddress(bus::kFuMailbox)
-                          : bus::Address::shortAddr(
-                                static_cast<std::uint8_t>(d + 1),
-                                bus::kFuMailbox);
+            tx.dest = backend.unicastAddress(d, spec.fullAddressing,
+                                             bus::kFuMailbox);
             break;
         }
         case TrafficPattern::AllToOne:
             tx.sender = 1 + static_cast<std::size_t>(k) % (n - 1);
-            tx.dest = spec.fullAddressing
-                          ? system.node(0).fullAddress(bus::kFuMailbox)
-                          : bus::Address::shortAddr(1, bus::kFuMailbox);
+            tx.dest = backend.unicastAddress(0, spec.fullAddressing,
+                                             bus::kFuMailbox);
             break;
         case TrafficPattern::BroadcastMix: {
             tx.sender = rng.below(n);
@@ -115,8 +111,10 @@ makePlan(const ScenarioSpec &spec, bus::MBusSystem &system,
                 std::size_t d = rng.below(n - 1);
                 if (d >= tx.sender)
                     ++d;
-                tx.dest = bus::Address::shortAddr(
-                    static_cast<std::uint8_t>(d + 1), bus::kFuMailbox);
+                // Broadcast-mix unicasts stay short-addressed even in
+                // full-addressing cells (matches the historical plan).
+                tx.dest = backend.unicastAddress(
+                    d, /*fullAddressing=*/false, bus::kFuMailbox);
             }
             break;
         }
@@ -146,7 +144,7 @@ makePlan(const ScenarioSpec &spec, bus::MBusSystem &system,
 }
 
 void runClassicTraffic(const ScenarioSpec &spec,
-                       bus::MBusSystem &system,
+                       backend::BusBackend &backend,
                        sim::Simulator &simulator, ScenarioStats &st,
                        int &done, sim::SimTime &lastCompletion,
                        double &latencySumS,
@@ -167,30 +165,21 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
     sim::Simulator simulator;
     simulator.seedRng(seed);
 
-    bus::SystemConfig cfg;
-    cfg.busClockHz = spec.busClockHz;
-    cfg.hopDelay = static_cast<sim::SimTime>(spec.hopDelayNs * 1000.0 + 0.5);
-    cfg.dataLanes = spec.dataLanes;
-    cfg.wireCapF = spec.wireLengthMm * spec.wireCapFPerMm;
-    cfg.edgeTrains = spec.edgeTrains;
+    backend::BusParams params;
+    params.nodes = spec.nodes;
+    params.busClockHz = spec.busClockHz;
+    params.hopDelayNs = spec.hopDelayNs;
+    params.wireCapF = spec.wireLengthMm * spec.wireCapFPerMm;
+    params.dataLanes = spec.dataLanes;
+    params.powerGated = spec.powerGated;
+    params.edgeTrains = spec.edgeTrains;
 
-    bus::MBusSystem system(simulator, cfg);
-    for (int i = 0; i < spec.nodes; ++i) {
-        bus::NodeConfig nc;
-        nc.name = "n" + std::to_string(i);
-        nc.fullPrefix = 0x500u + static_cast<std::uint32_t>(i);
-        nc.staticShortPrefix = static_cast<std::uint8_t>(i + 1);
-        // Node 0 hosts the mediator and stays on; members follow the
-        // spec so gated cells exercise the bus-driven wakeup path.
-        nc.powerGated = i != 0 && spec.powerGated;
-        nc.broadcastChannels |= 1u << bus::kChannelUserBase;
-        system.addNode(nc);
-    }
-    system.finalize();
+    std::unique_ptr<backend::BusBackend> backend =
+        backend::makeBackend(spec.backend, simulator, params);
 
     sim::TraceRecorder recorder;
     if (spec.captureVcd)
-        system.attachTrace(recorder);
+        backend->attachTrace(recorder);
 
     ScenarioStats st;
 
@@ -210,7 +199,7 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
             spec.timeLimit,
             sim::fromSeconds(spec.workload.durationS) + sim::kSecond);
         workload::WorkloadRunStats w =
-            engine.drive(system, simulator, limit);
+            engine.drive(*backend, simulator, limit);
 
         st.planned = w.planned;
         st.acked = w.acked;
@@ -240,7 +229,7 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
         lastCompletion = w.lastCompletion;
         done = static_cast<int>(latenciesS.size());
     } else {
-        runClassicTraffic(spec, system, simulator, st, done,
+        runClassicTraffic(spec, *backend, simulator, st, done,
                           lastCompletion, latencySumS, latenciesS,
                           completedWireBits);
     }
@@ -252,7 +241,7 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
         st.goodputBps =
             8.0 * static_cast<double>(st.bytesDelivered) / elapsedS;
         st.avgTxLatencyS = latencySumS / done;
-        st.avgCyclesPerTx = st.avgTxLatencyS * spec.busClockHz;
+        st.avgCyclesPerTx = st.avgTxLatencyS * backend->busClockHz();
     }
     if (!latenciesS.empty()) {
         std::sort(latenciesS.begin(), latenciesS.end());
@@ -270,16 +259,23 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
     st.perNodeEdges.resize(static_cast<std::size_t>(spec.nodes), 0);
     for (int i = 0; i < spec.nodes; ++i) {
         auto idx = static_cast<std::size_t>(i);
-        std::uint64_t edges = system.clkSegment(idx).transitions() +
-                              system.dataSegment(idx).transitions();
-        for (int l = 1; l < spec.dataLanes; ++l)
-            edges += system.laneSegment(l, idx).transitions();
-        st.perNodeEdges[idx] = edges;
+        st.perNodeEdges[idx] = backend->nodeEdges(idx);
     }
-    st.clockCycles = system.mediator().stats().clockCycles;
-    st.switchingJ = system.ledger().total();
-    st.leakageJ = system.idleLeakageJ();
+    st.clockCycles = backend->clockCycles();
+    st.switchingJ = backend->switchingJ();
+    st.leakageJ = backend->leakageJ();
     st.simTime = simulator.now();
+
+    // Cross-backend headline numbers: energy per delivered sample
+    // (workload cells) or per ACKed message, and the paper-style
+    // battery-lifetime projection of the measured mix.
+    double totalJ = st.switchingJ + st.leakageJ;
+    int units = spec.workload.enabled() ? st.samplesDelivered
+                                        : st.acked + st.broadcasts;
+    if (units > 0)
+        st.energyPerSampleJ = totalJ / static_cast<double>(units);
+    st.lifetimeDays = analysis::projectedLifetimeDays(
+        totalJ, sim::toSeconds(st.simTime));
 
     if (spec.captureVcd) {
         std::ostringstream os;
@@ -296,14 +292,15 @@ namespace {
 /** The pre-workload traffic driver: one planned message at a time
  *  from the makePlan() stream, with delivery integrity checking. */
 void
-runClassicTraffic(const ScenarioSpec &spec, bus::MBusSystem &system,
+runClassicTraffic(const ScenarioSpec &spec,
+                  backend::BusBackend &backend,
                   sim::Simulator &simulator, ScenarioStats &st,
                   int &done, sim::SimTime &lastCompletion,
                   double &latencySumS, std::vector<double> &latenciesS,
                   std::uint64_t &completedWireBits)
 {
     st.planned = spec.messages;
-    auto plan = makePlan(spec, system, simulator.rng());
+    auto plan = makePlan(spec, backend, simulator.rng());
 
     // Delivery integrity: every issued payload is registered as
     // expected (n-1 copies for broadcasts) and each complete delivery
@@ -311,28 +308,17 @@ runClassicTraffic(const ScenarioSpec &spec, bus::MBusSystem &system,
     // before the receiver's delivery at the same timestamp, so the
     // check cannot key on "the message currently in flight".
     std::multiset<std::vector<std::uint8_t>> expected;
-    auto checkDelivery = [&](const bus::ReceivedMessage &rx) {
-        if (rx.interjected)
-            return; // Truncated by design; content untrusted.
-        st.bytesDelivered += rx.payload.size();
-        auto it = expected.find(rx.payload);
-        if (it == expected.end())
-            ++st.payloadMismatches;
-        else
-            expected.erase(it);
-    };
-    for (int i = 0; i < spec.nodes; ++i) {
-        // Unicasts land in the mailbox; broadcasts (channel >= 2)
-        // take the layer's separate broadcast dispatch path.
-        bus::LayerController &layer =
-            system.node(static_cast<std::size_t>(i)).layer();
-        layer.setMailboxHandler(checkDelivery);
-        layer.setBroadcastHandler(
-            [checkDelivery](std::uint8_t,
-                            const bus::ReceivedMessage &rx) {
-                checkDelivery(rx);
-            });
-    }
+    backend.setDeliveryHandler(
+        [&](std::size_t, const bus::ReceivedMessage &rx) {
+            if (rx.interjected)
+                return; // Truncated by design; content untrusted.
+            st.bytesDelivered += rx.payload.size();
+            auto it = expected.find(rx.payload);
+            if (it == expected.end())
+                ++st.payloadMismatches;
+            else
+                expected.erase(it);
+        });
 
     sim::SimTime issuedAt = 0;
     latenciesS.reserve(static_cast<std::size_t>(spec.messages));
@@ -352,18 +338,21 @@ runClassicTraffic(const ScenarioSpec &spec, bus::MBusSystem &system,
         msg.priority = tx.priority;
         if (tx.interject) {
             // Storm: a third party cuts the message after a fraction
-            // of its modelled duration.
-            sim::SimTime period = sim::periodFromHz(spec.busClockHz);
+            // of its modelled duration, timed on the clock the
+            // fabric actually runs (clamped fabrics run slower than
+            // the spec requests).
+            sim::SimTime period =
+                sim::periodFromHz(backend.busClockHz());
             auto cycles = static_cast<double>(msg.totalCycles());
             auto delay = static_cast<sim::SimTime>(
                 tx.interjectFrac * cycles * static_cast<double>(period));
             std::size_t who = tx.interjector;
             simulator.schedule(delay,
-                               [&system, who] { system.node(who).interject(); });
+                               [&backend, who] { backend.interject(who); });
         }
         int wireBits = tx.wireBits;
-        system.node(tx.sender).send(msg, [&, wireBits](
-                                             const bus::TxResult &r) {
+        backend.send(tx.sender, msg, [&, wireBits](
+                                         const bus::TxResult &r) {
             switch (r.status) {
             case bus::TxStatus::Ack: ++st.acked; break;
             case bus::TxStatus::Nak: ++st.naked; break;
@@ -392,8 +381,9 @@ runClassicTraffic(const ScenarioSpec &spec, bus::MBusSystem &system,
         issueNext();
     bool finished = simulator.runUntil(
         [&] { return done >= spec.messages; }, spec.timeLimit);
-    bool idle = system.runUntilIdle(sim::kSecond);
+    bool idle = backend.runUntilIdle(sim::kSecond);
     st.wedged = !finished || !idle;
+    backend.setDeliveryHandler(nullptr);
 }
 
 } // namespace

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.hh"
 #include "sim/types.hh"
 #include "workload/workload.hh"
 
@@ -61,6 +62,15 @@ struct ScenarioSpec
     bool edgeTrains = true;  ///< Batched edge delivery (A/B studies).
 
     /**
+     * The bus fabric this cell runs on (a sweep grid axis): the
+     * hardware MBus ring, transactional I2C with standard or oracle
+     * pull-up sizing, or the mixed ring with a bit-banged software
+     * member. Fabrics with a tighter clock envelope (bitbang, I2C)
+     * clamp busClockHz; nodes must be >= 3 for bitbang cells.
+     */
+    backend::BackendKind backend = backend::BackendKind::Mbus;
+
+    /**
      * Application-mix workload. When it has actors, the cell's
      * traffic comes from a WorkloadEngine compiled on the cell seed
      * instead of the messages/traffic knobs above (which are then
@@ -96,6 +106,14 @@ struct ScenarioStats
     double avgTxLatencyS = 0;  ///< Mean issue-to-completion.
     double firstTxLatencyS = 0; ///< Cold-start (wakeup) latency.
     double avgCyclesPerTx = 0; ///< Mean bus cycles per transaction.
+
+    /** (switching + leakage) per delivered sample for workload
+     *  cells, per ACKed message otherwise -- the cross-backend
+     *  energy headline (Secs 2.1, 6.2). */
+    double energyPerSampleJ = 0;
+    /** analysis::projectedLifetimeDays of the measured mix on the
+     *  abstract's 0.6 uAh battery. */
+    double lifetimeDays = 0;
 
     // Latency distribution (nearest-rank percentiles over the cell's
     // per-transaction issue-to-completion latencies). The sorted raw

@@ -151,12 +151,13 @@ SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
     os << "index,name,nodes,clock_hz,hop_delay_ns,wire_length_mm,"
           "wire_cap_f_per_mm,payload_bytes,messages,lanes,"
           "traffic,gated,full_addr,priority_rate,interject_rate,"
-          "time_limit_ps,edge_trains,seed,"
+          "time_limit_ps,edge_trains,backend,seed,"
           "planned,acked,naked,broadcast,interrupted,rx_abort,failed,"
           "mismatches,wedged,bytes_delivered,tx_per_s,goodput_bps,events,"
           "events_per_bit,train_edges,clock_cycles,arb_retries,"
           "switching_j,"
-          "leakage_j,avg_tx_latency_s,first_tx_latency_s,"
+          "leakage_j,energy_per_sample_j,lifetime_days,"
+          "avg_tx_latency_s,first_tx_latency_s,"
           "lat_p50_s,lat_p95_s,lat_p99_s,"
           "avg_cycles_per_tx,sim_time_ps,per_node_edges,"
           "vcd_bytes,vcd_hash,"
@@ -183,6 +184,7 @@ SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
            << (p.fullAddressing ? 1 : 0) << ','
            << fmt(p.priorityRate) << ',' << fmt(p.interjectRate) << ','
            << p.timeLimit << ',' << (p.edgeTrains ? 1 : 0) << ','
+           << backend::backendKindName(p.backend) << ','
            << c.seed << ',' << s.planned << ',' << s.acked << ','
            << s.naked << ',' << s.broadcasts << ',' << s.interrupted
            << ',' << s.rxAborts << ',' << s.failed << ','
@@ -193,6 +195,8 @@ SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
            << s.trainEdges << ','
            << s.clockCycles << ',' << s.arbitrationRetries << ','
            << fmt(s.switchingJ) << ',' << fmt(s.leakageJ) << ','
+           << fmt(s.energyPerSampleJ) << ',' << fmt(s.lifetimeDays)
+           << ','
            << fmt(s.avgTxLatencyS) << ',' << fmt(s.firstTxLatencyS)
            << ',' << fmt(s.latencyP50S) << ',' << fmt(s.latencyP95S)
            << ',' << fmt(s.latencyP99S)
@@ -293,8 +297,12 @@ SweepResult::writeJson(std::ostream &os, bool includeWallTime) const
         const CellResult &c = cells_[i];
         const ScenarioStats &s = c.stats;
         os << "    {\"index\": " << c.index << ", \"name\": \""
-           << sanitizeName(c.spec.name) << "\", \"seed\": " << c.seed
+           << sanitizeName(c.spec.name) << "\", \"backend\": \""
+           << backend::backendKindName(c.spec.backend)
+           << "\", \"seed\": " << c.seed
            << ", \"acked\": " << s.acked
+           << ", \"energy_per_sample_j\": " << fmt(s.energyPerSampleJ)
+           << ", \"lifetime_days\": " << fmt(s.lifetimeDays)
            << ", \"goodput_bps\": " << fmt(s.goodputBps)
            << ", \"events_per_bit\": " << fmt(s.eventsPerBit)
            << ", \"train_edges\": " << s.trainEdges

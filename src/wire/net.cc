@@ -5,22 +5,6 @@
 namespace mbus {
 namespace wire {
 
-/** Boxed closure adapter behind the legacy subscribe() API. */
-class Net::ClosureListener final : public EdgeListener
-{
-  public:
-    explicit ClosureListener(Listener fn) : fn_(std::move(fn)) {}
-
-    void
-    onNetEdge(Net &, bool value) override
-    {
-        fn_(value);
-    }
-
-  private:
-    Listener fn_;
-};
-
 Net::Net(sim::Simulator &sim, const std::string &name, sim::SimTime delay,
          bool initial)
     : sim_(sim), id_(sim.names().intern(name)), delay_(delay),
@@ -175,13 +159,6 @@ void
 Net::listen(Edge edge, EdgeListener &listener)
 {
     subs_.push_back(Sub{&listener, maskOf(edge)});
-}
-
-void
-Net::subscribe(Edge edge, Listener fn)
-{
-    owned_.push_back(std::make_unique<ClosureListener>(std::move(fn)));
-    listen(edge, *owned_.back());
 }
 
 void

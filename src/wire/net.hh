@@ -40,8 +40,6 @@
 #define MBUS_WIRE_NET_HH
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -93,9 +91,6 @@ class Net : private sim::EdgeSink
     /** Interned name id (see sim::StringInterner). */
     using NetId = sim::StringInterner::Id;
 
-    /** Legacy closure listener (tests / prototyping convenience). */
-    using Listener = std::function<void(bool value)>;
-
     /**
      * @param sim Owning simulator.
      * @param name Diagnostic name ("seg2.DATA"); interned.
@@ -105,7 +100,7 @@ class Net : private sim::EdgeSink
     Net(sim::Simulator &sim, const std::string &name, sim::SimTime delay,
         bool initial = true);
 
-    ~Net(); // Out-of-line: owns forward-declared closure adapters.
+    ~Net(); // Cancels any in-flight speculative edge train.
 
     /** @return the currently visible value. */
     bool value() const { return forced_ ? forcedValue_ : value_; }
@@ -143,15 +138,6 @@ class Net : private sim::EdgeSink
      * @param listener Edge receiver; must outlive the net's use.
      */
     void listen(Edge edge, EdgeListener &listener);
-
-    /**
-     * Subscribe a closure to visible-value changes.
-     *
-     * Convenience wrapper over listen() for tests and ad-hoc wiring;
-     * the closure is boxed once at subscription time (setup path,
-     * not the event hot path).
-     */
-    void subscribe(Edge edge, Listener fn);
 
     /**
      * Fault injection: force the visible value regardless of drives.
@@ -224,9 +210,6 @@ class Net : private sim::EdgeSink
     /** Fan an already-applied change out to matching listeners. */
     void fanout(bool v);
 
-    /** Boxed closure for the legacy subscribe() path. */
-    class ClosureListener;
-
     sim::Simulator &sim_;
     NetId id_;
     sim::SimTime delay_;
@@ -263,7 +246,6 @@ class Net : private sim::EdgeSink
         std::uint8_t mask;
     };
     std::vector<Sub> subs_;
-    std::vector<std::unique_ptr<ClosureListener>> owned_;
 
     sim::TraceRecorder *recorder_ = nullptr;
     sim::TraceRecorder::SignalId traceId_ = 0;

@@ -6,7 +6,8 @@
 #include <map>
 #include <set>
 
-#include "mbus/system.hh"
+#include "backend/backend.hh"
+#include "mbus/layer_controller.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 
@@ -41,7 +42,7 @@ struct SampleState
 struct RunState
 {
     const WorkloadSpec *spec = nullptr;
-    bus::MBusSystem *system = nullptr;
+    backend::BusBackend *backend = nullptr;
     sim::Simulator *simulator = nullptr;
     const std::vector<PlannedOp> *plan = nullptr;
 
@@ -87,16 +88,16 @@ RunState::exec(const PlannedOp &op)
         break;
     case OpKind::Interject:
         ++stats.stormInterjections;
-        system->node(op.node).interject();
+        backend->interject(op.node);
         break;
     case OpKind::GateOff:
         ++stats.gateWindows;
         offline[op.node] = true;
-        system->node(op.node).sleep();
+        backend->sleep(op.node);
         break;
     case OpKind::GateOn:
         offline[op.node] = false;
-        system->node(op.node).wake();
+        backend->wake(op.node);
         break;
     case OpKind::FaultDrop:
         // Drop-out mid-transaction: whatever transaction the bus is
@@ -105,33 +106,22 @@ RunState::exec(const PlannedOp &op)
         // node's layer gates off, and its actors go silent.
         ++stats.faultsInjected;
         offline[op.node] = true;
-        system->node(op.node).interject();
-        system->node(op.node).sleep();
+        backend->interject(op.node);
+        backend->sleep(op.node);
         break;
     case OpKind::FaultRecover:
         ++stats.faultsRecovered;
         offline[op.node] = false;
-        system->node(op.node).wake();
+        backend->wake(op.node);
         break;
-    case OpKind::Retime: {
+    case OpKind::Retime:
+        // The backend clamps the target to its own clock envelope
+        // and carries the request as a broadcast on its fabric.
         ++stats.retimings;
-        double target = std::min(op.clockHz,
-                                 0.999 * system->maxSafeClockHz());
-        auto hz = static_cast<std::uint32_t>(target);
-        bus::Message msg;
-        msg.dest = bus::Address::broadcast(bus::kChannelConfig);
-        msg.payload = {bus::kConfigCmdClockHz,
-                       static_cast<std::uint8_t>((hz >> 24) & 0xFF),
-                       static_cast<std::uint8_t>((hz >> 16) & 0xFF),
-                       static_cast<std::uint8_t>((hz >> 8) & 0xFF),
-                       static_cast<std::uint8_t>(hz & 0xFF)};
         ++outstanding;
-        system->node(op.node).send(std::move(msg),
-                                   [this](const bus::TxResult &) {
-                                       --outstanding;
-                                   });
+        backend->retime(op.node, op.clockHz,
+                        [this] { --outstanding; });
         break;
-    }
     }
 }
 
@@ -170,8 +160,8 @@ RunState::execSend(const PlannedOp &op)
     expected.insert(payload);
 
     bus::Message msg;
-    msg.dest = bus::Address::shortAddr(
-        static_cast<std::uint8_t>(op.dest + 1), bus::kFuMailbox);
+    msg.dest = backend->unicastAddress(op.dest, /*fullAddressing=*/false,
+                                       bus::kFuMailbox);
     msg.payload = std::move(payload);
     msg.priority = op.priority;
 
@@ -185,9 +175,10 @@ RunState::execSend(const PlannedOp &op)
     const ActorSpec &aspec = spec->actors[actorIdx];
     bool dutyCycled = aspec.dutyCycled;
     std::size_t node = op.node;
-    system->node(op.node).send(
-        msg, [this, op, issuedAt, wireBits, dutyCycled, node,
-              key](const bus::TxResult &r) {
+    backend->send(
+        op.node, msg,
+        [this, op, issuedAt, wireBits, dutyCycled, node,
+         key](const bus::TxResult &r) {
             --outstanding;
             ActorStats &a = stats.actors[static_cast<std::size_t>(
                 op.actor)];
@@ -236,8 +227,8 @@ RunState::execSend(const PlannedOp &op)
             // Duty-cycling: gate the layer back off once this node
             // has nothing queued (no-op on always-on nodes).
             if (dutyCycled && !offline[node] &&
-                system->node(node).busController().pendingTx() == 0)
-                system->node(node).sleep();
+                backend->pendingTx(node) == 0)
+                backend->sleep(node);
         });
 }
 
@@ -285,20 +276,21 @@ RunState::onDelivery(const bus::ReceivedMessage &rx)
 } // namespace
 
 WorkloadRunStats
-WorkloadEngine::drive(bus::MBusSystem &system, sim::Simulator &simulator,
+WorkloadEngine::drive(backend::BusBackend &backend,
+                      sim::Simulator &simulator,
                       sim::SimTime timeLimit) const
 {
-    if (system.nodeCount() < static_cast<std::size_t>(nodes_))
+    if (backend.nodeCount() < static_cast<std::size_t>(nodes_))
         mbus_fatal("workload compiled for ", nodes_,
-                   " nodes but system has ", system.nodeCount());
+                   " nodes but backend has ", backend.nodeCount());
 
     RunState rs;
     rs.spec = &spec_;
-    rs.system = &system;
+    rs.backend = &backend;
     rs.simulator = &simulator;
     rs.plan = &plan_;
-    rs.offline.assign(system.nodeCount(), false);
-    rs.nodeBytesIssued.assign(system.nodeCount(), 0);
+    rs.offline.assign(backend.nodeCount(), false);
+    rs.nodeBytesIssued.assign(backend.nodeCount(), 0);
 
     rs.stats.actors.resize(spec_.actors.size());
     for (std::size_t i = 0; i < spec_.actors.size(); ++i) {
@@ -321,19 +313,13 @@ WorkloadEngine::drive(bus::MBusSystem &system, sim::Simulator &simulator,
         }
     }
 
-    for (std::size_t i = 0; i < system.nodeCount(); ++i) {
-        bus::LayerController &layer = system.node(i).layer();
-        layer.setMailboxHandler(
-            [&rs](const bus::ReceivedMessage &rx) { rs.onDelivery(rx); });
-        layer.setBroadcastHandler(
-            [&rs](std::uint8_t channel,
-                  const bus::ReceivedMessage &rx) {
-                // Enumeration/config broadcasts (channels 0/1) are
-                // system traffic, not workload deliveries.
-                if (channel >= bus::kChannelUserBase)
-                    rs.onDelivery(rx);
-            });
-    }
+    // The backend announces every application-level delivery
+    // (mailbox unicasts and user-channel broadcasts; system traffic
+    // is filtered inside the backend).
+    backend.setDeliveryHandler(
+        [&rs](std::size_t, const bus::ReceivedMessage &rx) {
+            rs.onDelivery(rx);
+        });
 
     rs.pump();
     bool finished = simulator.runUntil(
@@ -341,15 +327,12 @@ WorkloadEngine::drive(bus::MBusSystem &system, sim::Simulator &simulator,
             return rs.next >= rs.plan->size() && rs.outstanding == 0;
         },
         timeLimit);
-    bool idle = system.runUntilIdle(sim::kSecond);
+    bool idle = backend.runUntilIdle(sim::kSecond);
     rs.stats.wedged = !finished || !idle;
 
-    // The handlers capture this stack frame; uninstall them so the
-    // system stays safe to drive after the engine returns.
-    for (std::size_t i = 0; i < system.nodeCount(); ++i) {
-        system.node(i).layer().setMailboxHandler(nullptr);
-        system.node(i).layer().setBroadcastHandler(nullptr);
-    }
+    // The handler captures this stack frame; uninstall it so the
+    // backend stays safe to drive after the engine returns.
+    backend.setDeliveryHandler(nullptr);
 
     // --- Per-actor reduction -----------------------------------------
     double simS = sim::toSeconds(simulator.now());
@@ -369,15 +352,11 @@ WorkloadEngine::drive(bus::MBusSystem &system, sim::Simulator &simulator,
             double share = static_cast<double>(as.bytesIssued) /
                            static_cast<double>(rs.nodeBytesIssued[node]);
             as.energyPerSampleJ =
-                system.ledger().nodeTotal(node) * share /
+                backend.nodeEnergyJ(node) * share /
                 static_cast<double>(as.samplesDelivered);
         }
-        if (simS > 0) {
-            as.dutyCycle =
-                sim::toSeconds(
-                    system.node(node).layerDomain().poweredTime()) /
-                simS;
-        }
+        if (simS > 0)
+            as.dutyCycle = backend.poweredSeconds(node) / simS;
     }
     return rs.stats;
 }

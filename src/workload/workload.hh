@@ -42,8 +42,8 @@
 
 namespace mbus {
 
-namespace bus {
-class MBusSystem;
+namespace backend {
+class BusBackend;
 }
 namespace sim {
 class Simulator;
@@ -252,13 +252,17 @@ struct WorkloadRunStats
 constexpr std::uint64_t kScheduleStreamBase = 0x10001;
 
 /**
- * Compiles a WorkloadSpec into a deterministic plan and drives an
- * MBusSystem through it.
+ * Compiles a WorkloadSpec into a deterministic plan and drives a
+ * bus backend through it.
  *
  * Construction validates the spec against the ring population and
  * pre-draws every operation; drive() then executes the plan against
- * a system built by the caller (the scenario layer), registering its
- * own delivery handlers on every node's layer controller.
+ * a backend built by the caller (the scenario layer) -- hardware
+ * MBus, transactional I2C, or the bit-banged mixed ring -- through
+ * the uniform BusBackend API, registering its own delivery handler.
+ * One spec therefore runs unchanged on every fabric, which is what
+ * makes the paper's same-workload, different-interconnect
+ * comparisons (Secs 2.1, 6.2, 6.6) runnable.
  */
 class WorkloadEngine
 {
@@ -276,15 +280,15 @@ class WorkloadEngine
     const std::vector<PlannedOp> &plan() const { return plan_; }
 
     /**
-     * Execute the plan against @p system inside @p simulator, then
-     * reduce. The system must be finalized with at least the node
-     * count the engine was compiled for; the engine installs mailbox
-     * and broadcast handlers on every node.
+     * Execute the plan against @p backend inside @p simulator, then
+     * reduce. The backend must carry at least the node count the
+     * engine was compiled for; the engine installs the unified
+     * delivery handler for the duration of the run.
      *
      * @param timeLimit Absolute wedge guard passed to runUntil.
      * @return the deterministic per-run reduction.
      */
-    WorkloadRunStats drive(bus::MBusSystem &system,
+    WorkloadRunStats drive(backend::BusBackend &backend,
                            sim::Simulator &simulator,
                            sim::SimTime timeLimit) const;
 

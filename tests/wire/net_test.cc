@@ -13,6 +13,17 @@ using namespace mbus;
 using namespace mbus::sim;
 using namespace mbus::wire;
 
+namespace {
+
+/** Counting listener (the allocation-free registration path). */
+struct CountingListener final : EdgeListener
+{
+    int count = 0;
+    void onNetEdge(Net &, bool) override { ++count; }
+};
+
+} // namespace
+
 TEST(Net, TransportDelayDefersVisibility)
 {
     Simulator s;
@@ -36,10 +47,10 @@ TEST(Net, ListenersFilterByEdge)
 {
     Simulator s;
     Net net(s, "n", kNanosecond, false);
-    int rises = 0, falls = 0, any = 0;
-    net.subscribe(Edge::Rising, [&](bool) { ++rises; });
-    net.subscribe(Edge::Falling, [&](bool) { ++falls; });
-    net.subscribe(Edge::Any, [&](bool) { ++any; });
+    CountingListener rises, falls, any;
+    net.listen(Edge::Rising, rises);
+    net.listen(Edge::Falling, falls);
+    net.listen(Edge::Any, any);
 
     net.drive(true);
     s.run();
@@ -48,9 +59,9 @@ TEST(Net, ListenersFilterByEdge)
     net.drive(true);
     s.run();
 
-    EXPECT_EQ(rises, 2);
-    EXPECT_EQ(falls, 1);
-    EXPECT_EQ(any, 3);
+    EXPECT_EQ(rises.count, 2);
+    EXPECT_EQ(falls.count, 1);
+    EXPECT_EQ(any.count, 3);
 }
 
 TEST(Net, CountsTransitions)
@@ -72,24 +83,24 @@ TEST(Net, BackToBackEdgesBothDeliver)
     // both arrive -- this is what carries drive-to-forward glitches.
     Simulator s;
     Net net(s, "n", 10 * kNanosecond, true);
-    int events = 0;
-    net.subscribe(Edge::Any, [&](bool) { ++events; });
+    CountingListener events;
+    net.listen(Edge::Any, events);
     net.drive(false);
     s.schedule(kNanosecond, [&] { net.drive(true); });
     s.run();
-    EXPECT_EQ(events, 2);
+    EXPECT_EQ(events.count, 2);
 }
 
 TEST(Net, ForceOverridesAndReleases)
 {
     Simulator s;
     Net net(s, "n", kNanosecond, true);
-    int events = 0;
-    net.subscribe(Edge::Any, [&](bool) { ++events; });
+    CountingListener events;
+    net.listen(Edge::Any, events);
 
     net.force(false);
     EXPECT_FALSE(net.value());
-    EXPECT_EQ(events, 1);
+    EXPECT_EQ(events.count, 1);
 
     // Driven changes are masked while forced.
     net.drive(false);
@@ -100,7 +111,7 @@ TEST(Net, ForceOverridesAndReleases)
 
     net.release();
     EXPECT_TRUE(net.value()); // Snaps to the driven pipeline value.
-    EXPECT_EQ(events, 2);
+    EXPECT_EQ(events.count, 2);
 }
 
 TEST(Net, DriveDelayedAddsLatency)
