@@ -18,7 +18,11 @@
  *  - net_chain: the real wire stack, 14 forwarding hops (a plausible
  *    ring), measuring delivered edges through Net fanout;
  *  - net_train: the same ring driven rhythmically with net-level
- *    edge-train batching enabled (the MBus CLK broadcast shape).
+ *    edge-train batching enabled (the MBus CLK broadcast shape);
+ *  - dispatch_fanout: one net fanning edges out to 1/4/16 listeners,
+ *    per-edge onNetEdge delivery vs chunked onEdges runs -- the
+ *    listener-side analogue of kernel edge trains. Reports delivered
+ *    edges/sec and the deterministic listener calls per edge.
  *
  * Alongside throughput, the bench measures events/bit -- kernel
  * events retired per delivered edge, the scheduler-operation metric
@@ -376,11 +380,92 @@ runNetRing(std::uint64_t edges, bool trains,
     return rate;
 }
 
+/**
+ * Listener-dispatch fanout: one net, @p listeners subscribers, driven
+ * with strictly alternating edges in 100-edge bursts. Per-edge mode
+ * delivers every edge through onNetEdge (listeners calls per edge);
+ * chunked mode registers the same subscribers through listenBatched
+ * and flushes once per burst, so each burst costs one onEdges call
+ * per listener. Returns delivered edges (edges x listeners) per
+ * second; optionally the deterministic listener calls per edge.
+ */
+double
+runDispatchFanout(std::uint64_t edges, int listeners, bool chunked,
+                  double *callsPerEdge = nullptr)
+{
+    namespace sim = mbus::sim;
+    namespace wire = mbus::wire;
+
+    struct FanoutCounter final : wire::EdgeListener
+    {
+        std::uint64_t edges = 0;
+        void onNetEdge(wire::Net &, bool) override { ++edges; }
+        void
+        onEdges(wire::Net &, wire::EdgeRun run) override
+        {
+            edges += run.count;
+        }
+    };
+
+    sim::Simulator simulator;
+    wire::Net net(simulator, "fanout", 10 * sim::kNanosecond, true);
+    std::vector<FanoutCounter> subs(
+        static_cast<std::size_t>(listeners));
+    for (FanoutCounter &s : subs) {
+        if (chunked)
+            net.listenBatched(s);
+        else
+            net.listen(wire::Edge::Any, s);
+    }
+    net.setChunkedDispatch(chunked);
+
+    auto t0 = Clock::now();
+    bool next = false; // The net starts high: every drive edges.
+    for (std::uint64_t e = 0; e < edges;) {
+        for (int burst = 0; burst < 100 && e < edges; ++burst, ++e) {
+            net.drive(next);
+            next = !next;
+        }
+        simulator.run();
+        net.flushDeferred();
+    }
+    double seconds = secondsSince(t0);
+
+    std::uint64_t want = edges * static_cast<std::uint64_t>(listeners);
+    std::uint64_t got = 0;
+    for (const FanoutCounter &s : subs)
+        got += s.edges;
+    if (got != want) {
+        std::fprintf(stderr,
+                     "FAIL: dispatch_fanout delivered %llu edges, "
+                     "expected %llu\n",
+                     static_cast<unsigned long long>(got),
+                     static_cast<unsigned long long>(want));
+        std::exit(1);
+    }
+    if (callsPerEdge) {
+        *callsPerEdge = static_cast<double>(net.dispatchCalls()) /
+                        static_cast<double>(edges);
+    }
+    return static_cast<double>(want) / seconds;
+}
+
 struct Row
 {
     std::string name;
     double legacyRate;
     double newRate;
+};
+
+/** One dispatch_fanout data point: delivered edges/sec and listener
+ *  calls per edge, per-edge delivery vs chunked runs. */
+struct FanoutRow
+{
+    int listeners;
+    double perEdgeRate;
+    double chunkedRate;
+    double perEdgeCalls;
+    double chunkedCalls;
 };
 
 /** One events/bit data point: kernel events per delivered edge,
@@ -516,6 +601,25 @@ main(int argc, char **argv)
     double ringTrainRate =
         best3([&] { return runNetRing(kRingEdges, true); });
 
+    const std::uint64_t kFanoutEdges = smoke ? 100000 : 1000000;
+    std::vector<FanoutRow> fanout;
+    for (int listeners : {1, 4, 16}) {
+        FanoutRow row;
+        row.listeners = listeners;
+        row.perEdgeRate = best3([&] {
+            return runDispatchFanout(kFanoutEdges, listeners, false);
+        });
+        row.chunkedRate = best3([&] {
+            return runDispatchFanout(kFanoutEdges, listeners, true);
+        });
+        // calls/edge is deterministic: one small fixed-size run each.
+        (void)runDispatchFanout(10000, listeners, false,
+                                &row.perEdgeCalls);
+        (void)runDispatchFanout(10000, listeners, true,
+                                &row.chunkedCalls);
+        fanout.push_back(row);
+    }
+
     // events/bit: kernel events retired per delivered edge --
     // deterministic, measured once on a fixed-size run.
     std::vector<EpbRow> epb;
@@ -556,6 +660,18 @@ main(int argc, char **argv)
                 ringTrainRate / ringDiscreteRate);
 
     mbus::benchutil::section(
+        "dispatch_fanout: delivered edges/sec, per-edge vs chunked "
+        "listener delivery");
+    std::printf("%-14s %15s %15s %9s %11s\n", "listeners", "per-edge",
+                "chunked", "speedup", "calls/edge");
+    for (const FanoutRow &r : fanout) {
+        std::printf("%-14d %15.0f %15.0f %8.2fx %5.2f->%4.2f\n",
+                    r.listeners, r.perEdgeRate, r.chunkedRate,
+                    r.chunkedRate / r.perEdgeRate, r.perEdgeCalls,
+                    r.chunkedCalls);
+    }
+
+    mbus::benchutil::section(
         "events/bit: kernel events per delivered edge (lower is "
         "better; deterministic)");
     std::printf("%-14s %12s %12s %11s\n", "workload", "discrete",
@@ -577,7 +693,10 @@ main(int argc, char **argv)
     // preserved and this run appended.
     std::vector<std::string> history = readRunHistory(outPath);
     std::ostringstream runEntry;
-    runEntry << "{\"mode\": \"" << (smoke ? "smoke" : "full")
+    // "pr" tags each history entry with the change that produced it,
+    // so the trajectory reads as a per-PR series. Entries from before
+    // the tag simply lack the field.
+    runEntry << "{\"pr\": 6, \"mode\": \"" << (smoke ? "smoke" : "full")
              << "\", \"events_per_bit\": {";
     for (std::size_t i = 0; i < epb.size(); ++i) {
         runEntry << (i ? ", " : "") << "\"" << epb[i].name
@@ -588,6 +707,13 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < rows.size(); ++i) {
         runEntry << (i ? ", " : "") << "\"" << rows[i].name
                  << "\": " << rows[i].newRate / rows[i].legacyRate;
+    }
+    runEntry << "}, \"dispatch_fanout\": {";
+    for (std::size_t i = 0; i < fanout.size(); ++i) {
+        runEntry << (i ? ", " : "") << "\"l"
+                 << fanout[i].listeners
+                 << "\": " << fanout[i].chunkedRate /
+                                  fanout[i].perEdgeRate;
     }
     runEntry << "}}";
     history.push_back(runEntry.str());
@@ -616,6 +742,17 @@ main(int argc, char **argv)
              << ", \"after\": " << r.after
              << ", \"reduction\": " << r.before / r.after << "}"
              << (i + 1 < epb.size() ? ",\n" : "\n");
+    }
+    json << "  ],\n  \"dispatch_fanout\": [\n";
+    for (std::size_t i = 0; i < fanout.size(); ++i) {
+        const FanoutRow &r = fanout[i];
+        json << "    {\"listeners\": " << r.listeners
+             << ", \"per_edge_events_per_sec\": " << r.perEdgeRate
+             << ", \"chunked_events_per_sec\": " << r.chunkedRate
+             << ", \"speedup\": " << r.chunkedRate / r.perEdgeRate
+             << ", \"per_edge_calls_per_edge\": " << r.perEdgeCalls
+             << ", \"chunked_calls_per_edge\": " << r.chunkedCalls
+             << "}" << (i + 1 < fanout.size() ? ",\n" : "\n");
     }
     json << "  ],\n  \"net_chain_events_per_sec\": " << netRate
          << ",\n  \"forward_ring_events_per_sec\": {\"discrete\": "
@@ -660,6 +797,17 @@ main(int argc, char **argv)
                          "FAIL: %s events/bit only %f -> %f (< 2x "
                          "reduction)\n",
                          r.name.c_str(), r.before, r.after);
+            return 1;
+        }
+    }
+    // Same for listener calls/edge: chunked runs must at least halve
+    // the per-edge dispatch cost at every fanout width.
+    for (const FanoutRow &r : fanout) {
+        if (r.chunkedCalls * 2.0 > r.perEdgeCalls) {
+            std::fprintf(stderr,
+                         "FAIL: dispatch_fanout l%d calls/edge only "
+                         "%f -> %f (< 2x reduction)\n",
+                         r.listeners, r.perEdgeCalls, r.chunkedCalls);
             return 1;
         }
     }

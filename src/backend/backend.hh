@@ -72,6 +72,7 @@ struct BusParams
     int dataLanes = 1;          ///< Parallel lanes (MBus only).
     bool powerGated = false;    ///< Power-gate member nodes.
     bool edgeTrains = true;     ///< Kernel edge-train batching.
+    bool chunkedDispatch = true; ///< Batched listener dispatch.
 };
 
 /**
@@ -175,6 +176,11 @@ class BusBackend
 
     /** Bus clock cycles generated so far. */
     virtual std::uint64_t clockCycles() const = 0;
+
+    /** Listener virtual calls the fabric's nets have made so far
+     *  (the dispatch-cost metric chunked dispatch reduces). Fabrics
+     *  without Net-based wiring report 0. */
+    virtual std::uint64_t dispatchCalls() const { return 0; }
 };
 
 /** Build a backend of @p kind inside @p sim. Fatal on out-of-range

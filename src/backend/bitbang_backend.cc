@@ -41,6 +41,11 @@ BitbangBackend::BitbangBackend(sim::Simulator &sim,
         static_cast<sim::SimTime>(params.hopDelayNs * 1000.0 + 0.5);
     cfg_.wireCapF = params.wireCapF;
     cfg_.dataLanes = 1; // The four-GPIO member is single-lane.
+    cfg_.edgeTrains = params.edgeTrains;
+    cfg_.chunkedDispatch = params.chunkedDispatch;
+    // The software member's CLK ISR retirements coalesce under the
+    // same switch (and train length) as the net-level trains.
+    bbCfg.isrTrainMaxEdges = cfg_.edgeTrains ? cfg_.trainMaxEdges : 0;
     // The software member's response latency dominates the ring
     // round trip (same 2.5x budget MixedRing uses).
     cfg_.extraRingLatency = 2 * bbCfg.cost.responseLatency() +
@@ -54,6 +59,22 @@ BitbangBackend::BitbangBackend(sim::Simulator &sim,
             sim_, base + ".CLK_OUT", cfg_.hopDelay, true));
         dataSegs_.push_back(std::make_unique<wire::Net>(
             sim_, base + ".DATA_OUT", cfg_.hopDelay, true));
+    }
+    // The mixed ring's segments carry the same rhythmic forwarded
+    // runs as the pure-hardware ring (the software member retires
+    // its output drives periodically while unstalled), so the same
+    // net-level train batching and chunked tap dispatch apply.
+    if (cfg_.edgeTrains) {
+        for (auto &seg : clkSegs_)
+            seg->enableEdgeTrains(cfg_.trainMaxEdges);
+        for (auto &seg : dataSegs_)
+            seg->enableEdgeTrains(cfg_.trainMaxEdges);
+    }
+    if (cfg_.chunkedDispatch) {
+        for (auto &seg : clkSegs_)
+            seg->setChunkedDispatch(true);
+        for (auto &seg : dataSegs_)
+            seg->setChunkedDispatch(true);
     }
 
     // Hardware chips 0..n-2; the software member drives segment n-1.
@@ -72,10 +93,10 @@ BitbangBackend::BitbangBackend(sim::Simulator &sim,
     for (std::size_t i = 0; i < nodes_; ++i) {
         taps_.push_back(std::make_unique<SegmentTap>(
             *this, i, power::EnergyCategory::SegmentClk));
-        clkSegs_[i]->listen(wire::Edge::Any, *taps_.back());
+        clkSegs_[i]->listenBatched(*taps_.back());
         taps_.push_back(std::make_unique<SegmentTap>(
             *this, i, power::EnergyCategory::SegmentData));
-        dataSegs_[i]->listen(wire::Edge::Any, *taps_.back());
+        dataSegs_[i]->listenBatched(*taps_.back());
     }
 
     link_ = std::make_unique<bus::MediatorHostLink>();
@@ -270,9 +291,19 @@ BitbangBackend::softCpuEnergyJ() const
            power::kProcessorEnergyPerCycleJ;
 }
 
+void
+BitbangBackend::flushSegs() const
+{
+    for (auto &seg : clkSegs_)
+        seg->flushDeferred();
+    for (auto &seg : dataSegs_)
+        seg->flushDeferred();
+}
+
 double
 BitbangBackend::switchingJ() const
 {
+    flushSegs();
     return ledger_.total() + softCpuEnergyJ();
 }
 
@@ -286,6 +317,7 @@ BitbangBackend::leakageJ() const
 double
 BitbangBackend::nodeEnergyJ(std::size_t node) const
 {
+    flushSegs();
     double j = ledger_.nodeTotal(node);
     if (isSoft(node))
         j += softCpuEnergyJ();
@@ -311,6 +343,18 @@ std::uint64_t
 BitbangBackend::clockCycles() const
 {
     return mediator_->stats().clockCycles;
+}
+
+std::uint64_t
+BitbangBackend::dispatchCalls() const
+{
+    flushSegs();
+    std::uint64_t total = 0;
+    for (auto &seg : clkSegs_)
+        total += seg->dispatchCalls();
+    for (auto &seg : dataSegs_)
+        total += seg->dispatchCalls();
+    return total;
 }
 
 } // namespace backend

@@ -67,6 +67,7 @@ class BitbangBackend final : public BusBackend
     double poweredSeconds(std::size_t node) const override;
     std::uint64_t nodeEdges(std::size_t node) const override;
     std::uint64_t clockCycles() const override;
+    std::uint64_t dispatchCalls() const override;
 
     /** The software member (stats, ISR diagnostics). */
     bitbang::BitbangMbus &softNode() { return *bitbang_; }
@@ -89,6 +90,16 @@ class BitbangBackend final : public BusBackend
             backend->ledger_.charge(nodeId, category,
                                     backend->energy_.segmentEdge());
         }
+        void
+        onEdges(wire::Net &, wire::EdgeRun run) override
+        {
+            // Charge per edge (not count * e): repeated addition of
+            // the same constant keeps the ledger bit-identical to the
+            // per-edge path whatever the flush grouping.
+            const double e = backend->energy_.segmentEdge();
+            for (std::uint64_t i = 0; i < run.count; ++i)
+                backend->ledger_.charge(nodeId, category, e);
+        }
         BitbangBackend *backend;
         std::size_t nodeId;
         power::EnergyCategory category;
@@ -96,6 +107,10 @@ class BitbangBackend final : public BusBackend
 
     bool isSoft(std::size_t node) const { return node == nodes_ - 1; }
     double softCpuEnergyJ() const;
+
+    /** Deliver any deferred batched edge runs (energy taps) so the
+     *  ledger totals below are complete at any read point. */
+    void flushSegs() const;
 
     sim::Simulator &sim_;
     BusParams params_;

@@ -19,6 +19,7 @@ MbusBackend::MbusBackend(sim::Simulator &sim, const BusParams &params)
     cfg.dataLanes = params.dataLanes;
     cfg.wireCapF = params.wireCapF;
     cfg.edgeTrains = params.edgeTrains;
+    cfg.chunkedDispatch = params.chunkedDispatch;
 
     system_ = std::make_unique<bus::MBusSystem>(sim, cfg);
     for (int i = 0; i < params.nodes; ++i) {
@@ -128,6 +129,7 @@ MbusBackend::attachTrace(sim::TraceRecorder &recorder)
 double
 MbusBackend::switchingJ() const
 {
+    system_->flushDeferredEdges();
     return system_->ledger().total();
 }
 
@@ -140,6 +142,7 @@ MbusBackend::leakageJ() const
 double
 MbusBackend::nodeEnergyJ(std::size_t node) const
 {
+    system_->flushDeferredEdges();
     return system_->ledger().nodeTotal(node);
 }
 
@@ -164,6 +167,12 @@ std::uint64_t
 MbusBackend::clockCycles() const
 {
     return system_->mediator().stats().clockCycles;
+}
+
+std::uint64_t
+MbusBackend::dispatchCalls() const
+{
+    return system_->dispatchCalls();
 }
 
 } // namespace backend

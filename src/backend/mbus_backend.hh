@@ -63,6 +63,7 @@ class MbusBackend final : public BusBackend
     double poweredSeconds(std::size_t node) const override;
     std::uint64_t nodeEdges(std::size_t node) const override;
     std::uint64_t clockCycles() const override;
+    std::uint64_t dispatchCalls() const override;
 
     /** The wrapped system, for MBus-specific benches and tests. */
     bus::MBusSystem &system() { return *system_; }

@@ -14,8 +14,15 @@ BitbangMbus::BitbangMbus(sim::Simulator &sim, Config cfg,
     : sim_(sim), cfg_(cfg), clkIn_(clkIn), clkOut_(clkOut),
       dataIn_(dataIn), dataOut_(dataOut)
 {
+    clkRetire_.self = this;
+    dataRetire_.self = this;
     clkIn_.listen(wire::Edge::Any, *this);
     dataIn_.listen(wire::Edge::Any, *this);
+}
+
+BitbangMbus::~BitbangMbus()
+{
+    isrTrain_.cancel();
 }
 
 void
@@ -27,12 +34,10 @@ BitbangMbus::onNetEdge(wire::Net &net, bool value)
         onDataEdge(value);
 }
 
-void
-BitbangMbus::runIsr(int bodyCycles, std::function<void()> action)
+sim::SimTime
+BitbangMbus::isrRetireTime(int totalCycles)
 {
-    const auto &cost = cfg_.cost;
-    int total = cost.isrEntryCycles + bodyCycles + cost.isrExitCycles;
-    maxPathCycles_ = std::max(maxPathCycles_, total);
+    maxPathCycles_ = std::max(maxPathCycles_, totalCycles);
 
     // One CPU: a new interrupt waits for the running ISR to retire.
     sim::SimTime start = sim_.now();
@@ -40,34 +45,112 @@ BitbangMbus::runIsr(int bodyCycles, std::function<void()> action)
         ++stats_.serializationStalls;
         start = cpuBusyUntil_;
     }
-    sim::SimTime done = start + cfg_.cost.cyclesToTime(total);
+    sim::SimTime done = start + cfg_.cost.cyclesToTime(totalCycles);
     cpuBusyUntil_ = done;
 
     ++stats_.isrInvocations;
-    stats_.cyclesSpent += static_cast<std::uint64_t>(total);
+    stats_.cyclesSpent += static_cast<std::uint64_t>(totalCycles);
+    return done;
+}
 
-    // The output write is the last instruction before RETI: model the
-    // whole response as landing at ISR retirement.
-    sim_.scheduleAt(done, std::move(action));
+void
+BitbangMbus::splitIsrTrain()
+{
+    (void)isrTrain_.truncateTrainToHead();
+    isrTrainActive_ = false;
+    isrTrainLeft_ = 0;
+    haveClkArrival_ = false;
+    haveClkGap_ = false;
 }
 
 void
 BitbangMbus::onClkEdge(bool level)
 {
     const auto &cost = cfg_.cost;
-    int body = cost.gpioReadCycles + cost.dispatchCycles +
-               cost.stateUpdateCycles + cost.gpioWriteCycles +
-               2 * cost.gpioReadCycles + 2 * cost.gpioWriteCycles + 1;
-    runIsr(body, [this, level] { clkIsrBody(level); });
+    // The CLK ISR body costs the same cycle count whatever the
+    // protocol phase, so its retirement latency is a constant.
+    const int body = cost.gpioReadCycles + cost.dispatchCycles +
+                     cost.stateUpdateCycles + cost.gpioWriteCycles +
+                     2 * cost.gpioReadCycles + 2 * cost.gpioWriteCycles + 1;
+    const int total = cost.isrEntryCycles + body + cost.isrExitCycles;
+    const sim::SimTime latency = cost.cyclesToTime(total);
+    const sim::SimTime now = sim_.now();
+    const sim::SimTime done = isrRetireTime(total);
+    const bool onTime = done == now + latency; // No CPU stall.
+
+    if (isrTrainActive_) {
+        // Does this arrival confirm the train's next predicted
+        // retirement? Confirmation re-arms the edge with a tie-break
+        // sequence drawn right now -- the exact position a discrete
+        // schedule here would get -- so delivery is bit-identical.
+        if (onTime && level == isrExpectValue_ && now == isrExpectAt_ &&
+            isrTrainLeft_ > 0 && isrTrain_.confirmTrainEdge()) {
+            --isrTrainLeft_;
+            isrExpectValue_ = !level;
+            isrExpectAt_ = now + isrPeriod_;
+            if (isrTrainLeft_ == 0) {
+                // Exhausted cleanly: hand the rhythm straight back to
+                // the detector so the next matching arrival chains a
+                // new train without discrete warm-up.
+                isrTrainActive_ = false;
+                haveClkArrival_ = true;
+                haveClkGap_ = true;
+                lastClkArrival_ = now;
+                lastClkGap_ = isrPeriod_;
+            }
+            return;
+        }
+        // Stalled, off-rhythm, or wrong level: split back to the
+        // discrete path (the committed in-flight retirement survives).
+        splitIsrTrain();
+    }
+
+    if (cfg_.isrTrainMaxEdges != 0 && onTime) {
+        const sim::SimTime gap = now - lastClkArrival_;
+        if (haveClkGap_ && gap > 0 && gap == lastClkGap_ &&
+            gap > latency) {
+            // Third stall-free arrival on a steady beat: this
+            // retirement becomes the confirmed head of a train.
+            isrPeriod_ = gap;
+            isrTrain_ = sim_.scheduleSpeculativeEdgeTrain(
+                latency, gap, cfg_.isrTrainMaxEdges, clkRetire_, level);
+            isrTrainActive_ = true;
+            isrTrainLeft_ = cfg_.isrTrainMaxEdges - 1;
+            isrExpectValue_ = !level;
+            isrExpectAt_ = now + gap;
+            haveClkArrival_ = false;
+            haveClkGap_ = false;
+            return;
+        }
+        if (haveClkArrival_) {
+            lastClkGap_ = gap;
+            haveClkGap_ = gap > 0;
+        }
+        lastClkArrival_ = now;
+        haveClkArrival_ = true;
+    } else {
+        // A stalled retirement lands off the pure-latency beat:
+        // restart rhythm detection from scratch.
+        haveClkArrival_ = false;
+        haveClkGap_ = false;
+    }
+
+    // The output write is the last instruction before RETI: model the
+    // whole response as landing at ISR retirement.
+    sim_.scheduleEdge(done - now, clkRetire_, level);
 }
 
 void
 BitbangMbus::onDataEdge(bool level)
 {
+    // DATA edges are irregular (requests, ACKs, payload bits), so
+    // their retirements stay discrete -- but pooled, not closures.
     const auto &cost = cfg_.cost;
-    int body = cost.gpioReadCycles + cost.dispatchCycles +
-               cost.stateUpdateCycles;
-    runIsr(body, [this, level] { dataIsrBody(level); });
+    const int body = cost.gpioReadCycles + cost.dispatchCycles +
+                     cost.stateUpdateCycles;
+    const int total = cost.isrEntryCycles + body + cost.isrExitCycles;
+    const sim::SimTime done = isrRetireTime(total);
+    sim_.scheduleEdge(done - sim_.now(), dataRetire_, level);
 }
 
 void

@@ -54,10 +54,24 @@ class BitbangMbus : private wire::EdgeListener
     {
         std::uint8_t shortPrefix = 0; ///< Static short prefix.
         Msp430CostModel cost;
+
+        /**
+         * Maximum edges per coalesced CLK ISR-retirement train
+         * (0 disables coalescing; every retirement is a discrete
+         * kernel event). The CLK ISR body costs the same cycle count
+         * in every phase, so rhythmic CLK arrivals retire on the same
+         * beat shifted by the constant ISR latency -- a chain the
+         * engine rides on one speculative kernel train, confirming
+         * each retirement at its arrival (identical tie-break
+         * position to a discrete schedule) and splitting back to
+         * discrete on any stall or off-rhythm arrival.
+         */
+        std::uint32_t isrTrainMaxEdges = 32;
     };
 
     BitbangMbus(sim::Simulator &sim, Config cfg, wire::Net &clkIn,
                 wire::Net &clkOut, wire::Net &dataIn, wire::Net &dataOut);
+    ~BitbangMbus();
 
     /** Queue a message for transmission (mirrors BusController). */
     void send(bus::Message msg, bus::SendCallback cb = nullptr);
@@ -96,9 +110,14 @@ class BitbangMbus : private wire::EdgeListener
     };
     enum class Role : std::uint8_t { None, Tx, Rx, Fwd };
 
-    /** Run @p body cycles of ISR work, then @p action. Serializes on
-     *  the single CPU and accounts every cycle. */
-    void runIsr(int bodyCycles, std::function<void()> action);
+    /** Account @p totalCycles of ISR work (CPU serialization, stats,
+     *  worst-path tracking). @return the absolute retirement time --
+     *  when the ISR's output write lands. */
+    sim::SimTime isrRetireTime(int totalCycles);
+
+    /** Drop the unconfirmed tail of the CLK retirement train (the
+     *  committed in-flight head still fires) and reset detection. */
+    void splitIsrTrain();
 
     void onClkEdge(bool level);
     void onDataEdge(bool level);
@@ -109,6 +128,20 @@ class BitbangMbus : private wire::EdgeListener
     void beginIdle();
     void tryRequest();
 
+    /** Pooled retirement sinks: ISR completions ride the kernel's
+     *  allocation-free edge path (and, for CLK, its train path)
+     *  instead of one heap-allocated closure per ISR. */
+    struct ClkRetireSink final : sim::EdgeSink
+    {
+        BitbangMbus *self = nullptr;
+        void onEdge(bool v) override { self->clkIsrBody(v); }
+    };
+    struct DataRetireSink final : sim::EdgeSink
+    {
+        BitbangMbus *self = nullptr;
+        void onEdge(bool v) override { self->dataIsrBody(v); }
+    };
+
     sim::Simulator &sim_;
     Config cfg_;
     wire::Net &clkIn_;
@@ -116,8 +149,24 @@ class BitbangMbus : private wire::EdgeListener
     wire::Net &dataIn_;
     wire::Net &dataOut_;
 
+    ClkRetireSink clkRetire_;
+    DataRetireSink dataRetire_;
+
     // CPU serialization.
     sim::SimTime cpuBusyUntil_ = 0;
+
+    // CLK ISR-retirement train coalescing (mirrors wire::Net's
+    // confirm-or-split rhythm detector, keyed on ISR arrivals).
+    sim::EventHandle isrTrain_;
+    bool isrTrainActive_ = false;
+    std::uint32_t isrTrainLeft_ = 0;
+    bool isrExpectValue_ = false;
+    sim::SimTime isrExpectAt_ = 0;
+    sim::SimTime isrPeriod_ = 0;
+    sim::SimTime lastClkArrival_ = 0;
+    sim::SimTime lastClkGap_ = 0;
+    bool haveClkArrival_ = false;
+    bool haveClkGap_ = false;
 
     // Software mirror of the wire controllers.
     bool fwdClk_ = true;

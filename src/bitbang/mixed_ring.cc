@@ -14,6 +14,8 @@ MixedRing::MixedRing(sim::Simulator &sim, bus::SystemConfig cfg,
     // land back-to-back and serialize on the single CPU.
     cfg_.extraRingLatency = 2 * bitbangCfg.cost.responseLatency() +
                             bitbangCfg.cost.responseLatency() / 2;
+    bitbangCfg.isrTrainMaxEdges =
+        cfg_.edgeTrains ? cfg_.trainMaxEdges : 0;
 
     double max_hz =
         1.0 / (2.0 * (5.0 * sim::toSeconds(cfg_.hopDelay) +
@@ -29,6 +31,14 @@ MixedRing::MixedRing(sim::Simulator &sim, bus::SystemConfig cfg,
             sim_, "mix.clk" + std::to_string(i), cfg_.hopDelay, true);
         dataSegs_[i] = std::make_unique<wire::Net>(
             sim_, "mix.data" + std::to_string(i), cfg_.hopDelay, true);
+        if (cfg_.edgeTrains) {
+            clkSegs_[i]->enableEdgeTrains(cfg_.trainMaxEdges);
+            dataSegs_[i]->enableEdgeTrains(cfg_.trainMaxEdges);
+        }
+        if (cfg_.chunkedDispatch) {
+            clkSegs_[i]->setChunkedDispatch(true);
+            dataSegs_[i]->setChunkedDispatch(true);
+        }
     }
 
     bus::NodeConfig c0;

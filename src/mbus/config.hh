@@ -66,6 +66,18 @@ struct SystemConfig
     /** Maximum edges per net-level speculative train. */
     std::uint32_t trainMaxEdges = 32;
 
+    /**
+     * Chunked dispatch: deliver whole edge runs to provably
+     * edge-count-driven listeners (energy taps, comb-energy charges)
+     * in one virtual call each, mute subscriptions whose FSM ignores
+     * the current mode's edges, and convert the interjection
+     * detector's CLK reset to an epoch pull. Never changes
+     * scheduling, delivery times, VCD bytes or any outcome stat --
+     * only the listener virtual-call count drops. Off restores the
+     * fully per-edge dispatch path (A/B testing).
+     */
+    bool chunkedDispatch = true;
+
     /** Half-period edges per mediator tick/ring-check train chunk. */
     std::uint32_t tickTrainEdges = 64;
 

@@ -3,11 +3,15 @@
 namespace mbus {
 namespace bus {
 
-InterjectionDetector::InterjectionDetector(wire::Net &clk, wire::Net &data)
-    : dataNet_(&data)
+InterjectionDetector::InterjectionDetector(wire::Net &clk, wire::Net &data,
+                                           bool pullClkEpoch)
+    : clkNet_(&clk), dataNet_(&data), pull_(pullClkEpoch)
 {
     data.listen(wire::Edge::Any, *this);
-    clk.listen(wire::Edge::Any, *this);
+    if (pull_)
+        clkEpochSeen_ = clk.edgeEpoch();
+    else
+        clk.listen(wire::Edge::Any, *this);
 }
 
 void
@@ -22,6 +26,16 @@ InterjectionDetector::onNetEdge(wire::Net &net, bool)
 void
 InterjectionDetector::onDataEdge()
 {
+    if (pull_) {
+        // Lazy CLK reset: consume any CLK edges delivered since the
+        // last DATA edge before counting this one.
+        const std::uint64_t epoch = clkNet_->edgeEpoch();
+        if (epoch != clkEpochSeen_) {
+            clkEpochSeen_ = epoch;
+            count_ = 0;
+            asserted_ = false;
+        }
+    }
     if (count_ < kThreshold)
         ++count_;
     if (count_ >= kThreshold && !asserted_) {

@@ -36,8 +36,18 @@ class InterjectionDetector : private wire::EdgeListener
     /**
      * @param clk The node's local CLK net (resets the counter).
      * @param data The node's local DATA net (clocks the counter).
+     * @param pullClkEpoch Chunked-dispatch mode: instead of
+     *        subscribing to CLK (one virtual call per CLK edge whose
+     *        only effect is a counter reset), snapshot the CLK net's
+     *        edge epoch and detect intervening CLK edges lazily on
+     *        each DATA edge. Equivalent for every same-timestamp
+     *        ordering: a CLK edge delivered before a DATA edge has
+     *        already bumped the epoch; one delivered after it resets
+     *        the count before it is next consulted -- exactly when
+     *        the push-mode reset would have taken effect.
      */
-    InterjectionDetector(wire::Net &clk, wire::Net &data);
+    InterjectionDetector(wire::Net &clk, wire::Net &data,
+                         bool pullClkEpoch = false);
 
     /** Register the assertion callback (the bus controller reset). */
     void
@@ -46,8 +56,15 @@ class InterjectionDetector : private wire::EdgeListener
         onInterjection_ = std::move(fn);
     }
 
-    /** Current counter value (for tests). */
-    int count() const { return count_; }
+    /** Current counter value (for tests). In pull mode a CLK edge
+     *  since the last DATA edge reads as the reset it implies. */
+    int
+    count() const
+    {
+        if (pull_ && clkNet_->edgeEpoch() != clkEpochSeen_)
+            return 0;
+        return count_;
+    }
 
     /** Total assertions observed. */
     std::uint64_t assertions() const { return assertions_; }
@@ -57,8 +74,11 @@ class InterjectionDetector : private wire::EdgeListener
     void onDataEdge();
     void onClkEdge();
 
+    wire::Net *clkNet_;
     wire::Net *dataNet_;
     std::function<void()> onInterjection_;
+    bool pull_ = false;
+    std::uint64_t clkEpochSeen_ = 0;
     int count_ = 0;
     bool asserted_ = false;
     std::uint64_t assertions_ = 0;

@@ -33,11 +33,15 @@ Node::bind(wire::Net &clkIn, wire::Net &clkOut, wire::Net &dataIn,
     // wire controllers first so forwarding precedes protocol work on
     // the same edge, then the detector, then the sleep controller
     // whose hook drives the bus controller.
-    wcClk_ = std::make_unique<WireController>(clkIn, clkOut);
-    wcData_ = std::make_unique<WireController>(dataIn, dataOut);
+    // With chunked dispatch the controllers mute their input
+    // subscription while in Drive mode (where onInput is provably a
+    // no-op), skipping the virtual call per ignored edge.
+    const bool mute = sysCfg_.chunkedDispatch;
+    wcClk_ = std::make_unique<WireController>(clkIn, clkOut, mute);
+    wcData_ = std::make_unique<WireController>(dataIn, dataOut, mute);
     for (std::size_t l = 0; l < laneIns.size(); ++l) {
-        wcLanes_.push_back(
-            std::make_unique<WireController>(*laneIns[l], *laneOuts[l]));
+        wcLanes_.push_back(std::make_unique<WireController>(
+            *laneIns[l], *laneOuts[l], mute));
     }
 
     // The mediator host's protocol logic clocks off the chip's own
@@ -45,7 +49,8 @@ Node::bind(wire::Net &clkIn, wire::Net &clkOut, wire::Net &dataIn,
     // their input pad.
     wire::Net &localClk = isMediatorHost ? clkOut : clkIn;
 
-    detector_ = std::make_unique<InterjectionDetector>(localClk, dataIn);
+    detector_ = std::make_unique<InterjectionDetector>(
+        localClk, dataIn, /*pullClkEpoch=*/sysCfg_.chunkedDispatch);
     sleepCtl_ = std::make_unique<SleepController>(localClk, *busDomain_);
     intCtl_ = std::make_unique<InterruptController>(localClk, *wcData_);
 
@@ -77,7 +82,13 @@ Node::bind(wire::Net &clkIn, wire::Net &clkOut, wire::Net &dataIn,
 
     // The node's own always-on edge logic (combinational forwarding
     // energy, then the mutable-priority break) -- see onNetEdge().
-    localClk.listen(wire::Edge::Any, *this);
+    // Without the arb-break role the handler is a pure edge-count
+    // energy charge, so it can ride the chunked onEdges path; the
+    // arb-break FSM needs each edge at its own timestamp.
+    if (!sysCfg_.useNodeArbBreak)
+        localClk.listenBatched(*this);
+    else
+        localClk.listen(wire::Edge::Any, *this);
 }
 
 void
@@ -92,6 +103,17 @@ Node::onNetEdge(wire::Net &, bool rising)
     // logic that, when this node holds the break role, parks DATA
     // high for the arbitration cycle.
     onArbBreakEdge(rising);
+}
+
+void
+Node::onEdges(wire::Net &, wire::EdgeRun run)
+{
+    // Batched comb energy (only registered when the arb-break role
+    // is disabled system-wide): charge per edge, not count * e, so
+    // the ledger stays bit-identical to the per-edge path.
+    const double e = energy_.combPerCycle() / 2.0;
+    for (std::uint64_t i = 0; i < run.count; ++i)
+        ledger_.charge(id_, power::EnergyCategory::Comb, e);
 }
 
 void

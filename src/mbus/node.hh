@@ -142,6 +142,7 @@ class Node : private wire::EdgeListener
 
   private:
     void onNetEdge(wire::Net &net, bool value) override;
+    void onEdges(wire::Net &net, wire::EdgeRun run) override;
     bool handlePreDispatch(const ReceivedMessage &rx);
     void onArbBreakEdge(bool rising);
 

@@ -113,14 +113,26 @@ MBusSystem::finalize()
             for (auto &seg : lane)
                 seg->enableEdgeTrains(cfg_.trainMaxEdges);
     }
+    if (cfg_.chunkedDispatch) {
+        for (auto &seg : clkSegs_)
+            seg->setChunkedDispatch(true);
+        for (auto &seg : dataSegs_)
+            seg->setChunkedDispatch(true);
+        for (auto &lane : laneSegs_)
+            for (auto &seg : lane)
+                seg->setChunkedDispatch(true);
+    }
 
     // Switching-energy taps: each transition on a segment charges the
     // driving chip (output pad + wire + next chip's input pad).
+    // Registered batched: with chunked dispatch on, whole edge runs
+    // arrive in one onEdges call per tap; off, this is a plain
+    // Edge::Any subscription.
     auto tap = [this](wire::Net &seg, std::size_t i,
                       power::EnergyCategory cat) {
         energyTaps_.push_back(
             std::make_unique<SegmentEnergyTap>(*this, i, cat));
-        seg.listen(wire::Edge::Any, *energyTaps_.back());
+        seg.listenBatched(*energyTaps_.back());
     };
     for (std::size_t i = 0; i < n; ++i) {
         tap(*clkSegs_[i], i, power::EnergyCategory::SegmentClk);
@@ -384,8 +396,36 @@ MBusSystem::attachTrace(sim::TraceRecorder &recorder)
 }
 
 void
+MBusSystem::flushDeferredEdges() const
+{
+    for (auto &seg : clkSegs_)
+        seg->flushDeferred();
+    for (auto &seg : dataSegs_)
+        seg->flushDeferred();
+    for (auto &lane : laneSegs_)
+        for (auto &seg : lane)
+            seg->flushDeferred();
+}
+
+std::uint64_t
+MBusSystem::dispatchCalls() const
+{
+    flushDeferredEdges();
+    std::uint64_t calls = 0;
+    for (auto &seg : clkSegs_)
+        calls += seg->dispatchCalls();
+    for (auto &seg : dataSegs_)
+        calls += seg->dispatchCalls();
+    for (auto &lane : laneSegs_)
+        for (auto &seg : lane)
+            calls += seg->dispatchCalls();
+    return calls;
+}
+
+void
 MBusSystem::dumpStats(std::ostream &os) const
 {
+    flushDeferredEdges();
     os << "=== MBus system statistics @ "
        << sim::toSeconds(sim_.now()) << " s ===\n";
     const MediatorStats &m = mediator_->stats();

@@ -62,7 +62,15 @@ class MBusSystem
     Node *nodeByName(const std::string &name);
 
     Mediator &mediator() { return *mediator_; }
-    power::EnergyLedger &ledger() { return ledger_; }
+
+    /** The energy ledger. Flushes any deferred batched edge runs
+     *  first so readers always see complete totals. */
+    power::EnergyLedger &
+    ledger()
+    {
+        flushDeferredEdges();
+        return ledger_;
+    }
     const power::SwitchingEnergyModel &energy() const { return energy_; }
     SystemConfig &config() { return cfg_; }
     sim::Simulator &simulator() { return sim_; }
@@ -130,6 +138,17 @@ class MBusSystem
     void attachTrace(sim::TraceRecorder &recorder);
 
     /**
+     * Deliver all deferred (chunk-dispatched) edge runs now. Must be
+     * called before reading the energy ledger or any batched-listener
+     * state; dumpStats() and the backend stat getters do.
+     */
+    void flushDeferredEdges() const;
+
+    /** Listener virtual calls across all ring segments (the metric
+     *  chunked dispatch reduces); flushes deferred runs first. */
+    std::uint64_t dispatchCalls() const;
+
+    /**
      * Aggregate every controller's counters, the mediator stats, the
      * energy ledger, and leakage into one human-readable report.
      */
@@ -147,7 +166,8 @@ class MBusSystem
     bool handleConfigBroadcast(const ReceivedMessage &rx);
 
     /** Switching-energy tap: one per ring segment, charging the
-     *  driving chip for each transition (allocation-free fanout). */
+     *  driving chip for each transition (allocation-free fanout).
+     *  Edge-count driven, so it rides the chunked onEdges path. */
     struct SegmentEnergyTap final : wire::EdgeListener
     {
         SegmentEnergyTap(MBusSystem &s, std::size_t n,
@@ -160,6 +180,17 @@ class MBusSystem
         {
             sys->ledger_.charge(nodeId, category,
                                 sys->energy_.segmentEdge());
+        }
+
+        void
+        onEdges(wire::Net &, wire::EdgeRun run) override
+        {
+            // Charge per edge (not count * e): repeated addition of
+            // the same constant keeps the ledger bit-identical to the
+            // per-edge path whatever the flush grouping.
+            const double e = sys->energy_.segmentEdge();
+            for (std::uint64_t i = 0; i < run.count; ++i)
+                sys->ledger_.charge(nodeId, category, e);
         }
 
         MBusSystem *sys;

@@ -3,8 +3,9 @@
 namespace mbus {
 namespace bus {
 
-WireController::WireController(wire::Net &in, wire::Net &out)
-    : in_(in), out_(out)
+WireController::WireController(wire::Net &in, wire::Net &out,
+                               bool muteWhileDriving)
+    : in_(in), out_(out), muteWhileDriving_(muteWhileDriving)
 {
     in_.listen(wire::Edge::Any, *this);
 }
@@ -26,6 +27,10 @@ void
 WireController::forward()
 {
     mode_ = Mode::Forward;
+    if (muted_) {
+        in_.setListenerMuted(*this, false);
+        muted_ = false;
+    }
     // Handoff: the output snaps to whatever the input holds now. If
     // that differs from the driven value this emits the drive-to-
     // forward glitch described in Figure 5.
@@ -36,6 +41,12 @@ void
 WireController::drive(bool v)
 {
     mode_ = Mode::Drive;
+    if (muteWhileDriving_ && !muted_) {
+        // Drive-mode input edges are pure no-ops (see onInput); skip
+        // their virtual dispatch until the switch back to forwarding.
+        in_.setListenerMuted(*this, true);
+        muted_ = true;
+    }
     out_.drive(v);
 }
 

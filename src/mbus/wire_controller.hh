@@ -30,8 +30,15 @@ class WireController : private wire::EdgeListener
     /**
      * @param in The upstream ring segment (this node's IN pad).
      * @param out The downstream ring segment (this node's OUT pad).
+     * @param muteWhileDriving Chunked-dispatch optimization: while in
+     *        Drive mode input edges are provably ignored (onInput is
+     *        a no-op), so the input subscription is muted for the
+     *        duration and unmuted on the switch back to forwarding --
+     *        which snaps the output from in.value() anyway, so no
+     *        edge information is lost.
      */
-    WireController(wire::Net &in, wire::Net &out);
+    WireController(wire::Net &in, wire::Net &out,
+                   bool muteWhileDriving = false);
 
     /** Switch to (or remain in) forwarding mode. */
     void forward();
@@ -54,6 +61,8 @@ class WireController : private wire::EdgeListener
     wire::Net &in_;
     wire::Net &out_;
     Mode mode_ = Mode::Forward;
+    bool muteWhileDriving_ = false;
+    bool muted_ = false;
 };
 
 } // namespace bus

@@ -17,6 +17,10 @@ void
 EventQueue::addChunk()
 {
     chunks_.push_back(std::make_unique<Event[]>(kChunkSize));
+    // Keep the dense tag arrays covering every slot the slab owns
+    // (value 0 = free / no heap entry, same as a fresh AoS slot).
+    occupiedSeq_.resize(chunks_.size() << kChunkShift, 0);
+    entrySeq_.resize(chunks_.size() << kChunkShift, 0);
     ++slabGrowths_;
 }
 
@@ -44,8 +48,8 @@ EventQueue::cancel(std::uint32_t slot, std::uint64_t seq)
         ev.fn.reset();
         --live_;
     }
-    ev.occupiedSeq = 0;
-    ev.entrySeq = 0;
+    occupiedSeq_[slot] = 0;
+    entrySeq_[slot] = 0;
     releaseSlot(slot);
     // Any heap entry stays behind; its seq no longer tags the slot,
     // so it is skipped (and dropped) at pop time.
@@ -62,7 +66,7 @@ EventQueue::confirmTrain(std::uint32_t slot, std::uint64_t seq)
         return false;
     }
     const std::uint64_t fresh = ++nextSeq_;
-    ev.entrySeq = fresh;
+    entrySeq_[slot] = fresh;
     ev.trainHeadQueued = true;
     ++live_;
     heap_.push_back(HeapEntry{ev.trainNextWhen, fresh, slot});
@@ -95,8 +99,8 @@ EventQueue::truncateTrainToHead(std::uint32_t slot, std::uint64_t seq)
     if (!ev.trainSpeculative)
         live_ -= dropped;
     clearTrain(ev);
-    ev.occupiedSeq = 0;
-    ev.entrySeq = 0;
+    occupiedSeq_[slot] = 0;
+    entrySeq_[slot] = 0;
     releaseSlot(slot);
     return dropped;
 }

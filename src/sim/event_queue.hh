@@ -21,6 +21,26 @@
  * performs zero heap allocations: slots, heap storage and callback
  * bytes are all reused.
  *
+ * Struct-of-arrays hot path: the per-slot generation tags
+ * (occupiedSeq / entrySeq) are NOT stored in the 64+-byte Event slots
+ * but in two dense parallel arrays indexed by slot number. The
+ * staleness chase in skipStale() -- the single hottest loop in
+ * dispatch -- then touches only the heap array and one contiguous
+ * u64 array (8 tags per cache line) instead of striding a cold Event
+ * slot per probe. Invariants of the split layout:
+ *
+ *  - occupiedSeq_[s] / entrySeq_[s] are defined for every s <
+ *    totalSlots_ and resized (only) in addChunk(), so the arrays
+ *    always cover exactly the slots the chunked slab owns;
+ *  - unlike Event chunks the tag arrays DO relocate when they grow:
+ *    tag access is by index, never by cached pointer/reference, and
+ *    any code that runs a user callback (which may schedule and grow
+ *    the slab) must re-index afterwards -- `Event &` references stay
+ *    valid across growth, tag references do not;
+ *  - the tag values and their meaning (0 = free / no entry, matching
+ *    seq = live) are unchanged from the AoS layout; only residence
+ *    moved.
+ *
  * Edge trains: in addition to plain one-shot events, the queue can
  * hold an *edge train* -- one slab event standing for up to 2^32
  * alternating edge deliveries to an EdgeSink, spaced a fixed period
@@ -171,8 +191,8 @@ class EventQueue
             ++heapCallbacks_;
 
         const std::uint64_t seq = ++nextSeq_;
-        ev.occupiedSeq = seq;
-        ev.entrySeq = seq;
+        occupiedSeq_[slot] = seq;
+        entrySeq_[slot] = seq;
         heap_.push_back(HeapEntry{when, seq, slot});
         siftUp(heap_.size() - 1);
         ++live_;
@@ -252,8 +272,8 @@ class EventQueue
         // of view the event is no longer pending, and cancel() on
         // its own handle is a no-op (the previous design's
         // fired-flag semantics).
-        ev.occupiedSeq = 0;
-        ev.entrySeq = 0;
+        occupiedSeq_[top.slot] = 0;
+        entrySeq_[top.slot] = 0;
         --live_;
         ++executed_;
         // Chunks are address-stable, so the callback runs in place
@@ -329,13 +349,9 @@ class EventQueue
     struct Event
     {
         EventCallback fn; ///< Plain events only; empty for trains.
-        /** seq identifying the current occupant (handle identity);
-         *  0 = slot free. 64-bit and globally unique, so stale
-         *  references can never alias a later occupant. */
-        std::uint64_t occupiedSeq = 0;
-        /** seq of this slot's live heap entry; 0 = none queued. A
-         *  heap entry is stale exactly when its seq differs. */
-        std::uint64_t entrySeq = 0;
+        // Generation tags (occupiedSeq / entrySeq) live in the dense
+        // parallel arrays below, not here: see the SoA notes in the
+        // file header.
 
         // Train state (trainRemaining > 0 marks a train event).
         EdgeSink *trainSink = nullptr;
@@ -422,8 +438,8 @@ class EventQueue
         const std::uint32_t slot = acquireSlot();
         Event &ev = slotRef(slot);
         const std::uint64_t seq = ++nextSeq_;
-        ev.occupiedSeq = seq;
-        ev.entrySeq = seq;
+        occupiedSeq_[slot] = seq;
+        entrySeq_[slot] = seq;
         ev.trainSink = &sink;
         ev.trainPeriod = period;
         ev.trainNextWhen = firstWhen;
@@ -450,7 +466,7 @@ class EventQueue
     void
     dispatchTrainEdge(Event &ev, const HeapEntry &top)
     {
-        const std::uint64_t occ = ev.occupiedSeq;
+        const std::uint64_t occ = occupiedSeq_[top.slot];
         EdgeSink &sink = *ev.trainSink;
         const bool value = ev.trainNextValue;
         if (!ev.trainCounted) {
@@ -463,22 +479,24 @@ class EventQueue
         ++trainEdges_;
         ev.trainNextValue = !value;
         ev.trainNextWhen = top.when + ev.trainPeriod;
-        ev.entrySeq = 0;
+        entrySeq_[top.slot] = 0;
         ev.trainHeadQueued = false;
         sink.onEdge(value);
         // The callback may have cancelled the train (and the slot may
-        // even have been reacquired); touch nothing if so.
-        if (ev.occupiedSeq != occ)
+        // even have been reacquired); touch nothing if so. Re-index
+        // the tag arrays: the callback may have grown the slab and
+        // relocated them (ev itself is chunk-stable).
+        if (occupiedSeq_[top.slot] != occ)
             return;
         if (ev.trainRemaining == 0) {
-            ev.occupiedSeq = 0;
+            occupiedSeq_[top.slot] = 0;
             clearTrain(ev);
             releaseSlot(top.slot);
             return;
         }
         if (!ev.trainSpeculative) {
             const std::uint64_t seq = ++nextSeq_;
-            ev.entrySeq = seq;
+            entrySeq_[top.slot] = seq;
             ev.trainHeadQueued = true;
             heap_.push_back(HeapEntry{ev.trainNextWhen, seq, top.slot});
             siftUp(heap_.size() - 1);
@@ -489,7 +507,7 @@ class EventQueue
     bool
     isPending(std::uint32_t slot, std::uint64_t seq) const
     {
-        return slot < totalSlots_ && slotRef(slot).occupiedSeq == seq;
+        return slot < totalSlots_ && occupiedSeq_[slot] == seq;
     }
 
     void cancel(std::uint32_t slot, std::uint64_t seq);
@@ -501,13 +519,14 @@ class EventQueue
 
     void addChunk();
 
-    /** Drop stale (cancelled / superseded) entries from the heap head. */
+    /** Drop stale (cancelled / superseded) entries from the heap head.
+     *  SoA hot loop: touches heap_ and the dense entrySeq_ array only
+     *  -- never the cold Event slots. */
     void
     skipStale() const
     {
         while (!heap_.empty() &&
-               slotRef(heap_.front().slot).entrySeq !=
-                   heap_.front().seq) {
+               entrySeq_[heap_.front().slot] != heap_.front().seq) {
             popHeapTop();
         }
     }
@@ -558,6 +577,10 @@ class EventQueue
 
     mutable std::vector<HeapEntry> heap_;
     std::vector<std::unique_ptr<Event[]>> chunks_;
+    /** Hot generation tags, parallel to the slab (index = slot; see
+     *  the SoA notes in the file header). Grown in addChunk() only. */
+    std::vector<std::uint64_t> occupiedSeq_;
+    std::vector<std::uint64_t> entrySeq_;
     std::uint32_t totalSlots_ = 0;
     std::uint32_t freeHead_ = kNoSlot;
     std::uint64_t nextSeq_ = 0;

@@ -173,6 +173,7 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
     params.dataLanes = spec.dataLanes;
     params.powerGated = spec.powerGated;
     params.edgeTrains = spec.edgeTrains;
+    params.chunkedDispatch = spec.chunkedDispatch;
 
     std::unique_ptr<backend::BusBackend> backend =
         backend::makeBackend(spec.backend, simulator, params);
@@ -256,6 +257,7 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
                           static_cast<double>(completedWireBits);
     st.trainEdges = simulator.queue().trainEdgesDelivered();
     st.trainsScheduled = simulator.queue().trainsScheduled();
+    st.dispatchCalls = backend->dispatchCalls();
     st.perNodeEdges.resize(static_cast<std::size_t>(spec.nodes), 0);
     for (int i = 0; i < spec.nodes; ++i) {
         auto idx = static_cast<std::size_t>(i);

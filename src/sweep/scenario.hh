@@ -60,6 +60,7 @@ struct ScenarioSpec
     sim::SimTime timeLimit = 60 * sim::kSecond; ///< Wedge guard.
     bool captureVcd = false; ///< Retain the full VCD byte stream.
     bool edgeTrains = true;  ///< Batched edge delivery (A/B studies).
+    bool chunkedDispatch = true; ///< Batched listener dispatch (A/B).
 
     /**
      * The bus fabric this cell runs on (a sweep grid axis): the
@@ -130,6 +131,7 @@ struct ScenarioStats
     std::uint64_t arbitrationRetries = 0;
     std::uint64_t trainEdges = 0;   ///< Edges delivered via trains.
     std::uint64_t trainsScheduled = 0; ///< Kernel edge trains created.
+    std::uint64_t dispatchCalls = 0; ///< Net listener virtual calls.
     sim::SimTime simTime = 0; ///< Final simulated timestamp.
 
     /** Per-node event breakdown: wire transitions each node drove

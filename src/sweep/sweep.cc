@@ -74,6 +74,7 @@ SweepResult::aggregate() const
         a.bytesDelivered += s.bytesDelivered;
         a.events += s.eventsExecuted;
         a.trainEdges += s.trainEdges;
+        a.dispatchCalls += s.dispatchCalls;
         a.switchingJ += s.switchingJ;
         a.leakageJ += s.leakageJ;
         latencies.insert(latencies.end(), s.txLatenciesS.begin(),
@@ -154,7 +155,8 @@ SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
           "time_limit_ps,edge_trains,backend,seed,"
           "planned,acked,naked,broadcast,interrupted,rx_abort,failed,"
           "mismatches,wedged,bytes_delivered,tx_per_s,goodput_bps,events,"
-          "events_per_bit,train_edges,clock_cycles,arb_retries,"
+          "events_per_bit,train_edges,dispatch_calls,clock_cycles,"
+          "arb_retries,"
           "switching_j,"
           "leakage_j,energy_per_sample_j,lifetime_days,"
           "avg_tx_latency_s,first_tx_latency_s,"
@@ -192,7 +194,7 @@ SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
            << s.bytesDelivered << ',' << fmt(s.txPerSecond) << ','
            << fmt(s.goodputBps) << ','
            << s.eventsExecuted << ',' << fmt(s.eventsPerBit) << ','
-           << s.trainEdges << ','
+           << s.trainEdges << ',' << s.dispatchCalls << ','
            << s.clockCycles << ',' << s.arbitrationRetries << ','
            << fmt(s.switchingJ) << ',' << fmt(s.leakageJ) << ','
            << fmt(s.energyPerSampleJ) << ',' << fmt(s.lifetimeDays)
@@ -277,6 +279,7 @@ SweepResult::writeJson(std::ostream &os, bool includeWallTime) const
        << ", \"bytes_delivered\": " << a.bytesDelivered
        << ", \"events\": " << a.events
        << ", \"train_edges\": " << a.trainEdges
+       << ", \"dispatch_calls\": " << a.dispatchCalls
        << ", \"switching_j\": " << fmt(a.switchingJ)
        << ", \"leakage_j\": " << fmt(a.leakageJ)
        << ", \"mean_goodput_bps\": " << fmt(a.meanGoodputBps)
@@ -306,6 +309,7 @@ SweepResult::writeJson(std::ostream &os, bool includeWallTime) const
            << ", \"goodput_bps\": " << fmt(s.goodputBps)
            << ", \"events_per_bit\": " << fmt(s.eventsPerBit)
            << ", \"train_edges\": " << s.trainEdges
+           << ", \"dispatch_calls\": " << s.dispatchCalls
            << ", \"lat_p50_s\": " << fmt(s.latencyP50S)
            << ", \"lat_p95_s\": " << fmt(s.latencyP95S)
            << ", \"lat_p99_s\": " << fmt(s.latencyP99S)

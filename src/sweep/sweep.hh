@@ -67,6 +67,7 @@ struct SweepAggregate
     std::uint64_t bytesDelivered = 0;
     std::uint64_t events = 0;
     std::uint64_t trainEdges = 0;
+    std::uint64_t dispatchCalls = 0;
     double switchingJ = 0;
     double leakageJ = 0;
     double meanGoodputBps = 0;

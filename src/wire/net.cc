@@ -148,10 +148,38 @@ Net::applyVisible(bool v)
 void
 Net::fanout(bool v)
 {
+    ++edgeEpoch_;
     const std::uint8_t bit = v ? kMaskRising : kMaskFalling;
+    const bool defer = chunked_ && haveBatched_;
     for (const Sub &sub : subs_) {
-        if (sub.mask & bit)
-            sub.listener->onNetEdge(*this, v);
+        if (!(sub.mask & bit) || (sub.mask & kMaskMuted))
+            continue;
+        if (defer && (sub.mask & kMaskBatched))
+            continue; // Accumulated below, delivered at flush.
+        ++dispatchCalls_;
+        sub.listener->onNetEdge(*this, v);
+    }
+    if (defer) {
+        // All batched subs are Edge::Any and deliveries strictly
+        // alternate, so one shared {first, count} run covers them.
+        if (pendingCount_ == 0)
+            pendingFirst_ = v;
+        ++pendingCount_;
+    }
+}
+
+void
+Net::flushDeferred()
+{
+    if (pendingCount_ == 0)
+        return;
+    const EdgeRun run{pendingFirst_, pendingCount_};
+    pendingCount_ = 0;
+    for (const Sub &sub : subs_) {
+        if ((sub.mask & kMaskBatched) && !(sub.mask & kMaskMuted)) {
+            ++dispatchCalls_;
+            sub.listener->onEdges(*this, run);
+        }
     }
 }
 
@@ -162,8 +190,31 @@ Net::listen(Edge edge, EdgeListener &listener)
 }
 
 void
+Net::listenBatched(EdgeListener &listener)
+{
+    subs_.push_back(Sub{&listener,
+                        static_cast<std::uint8_t>(kMaskAny | kMaskBatched)});
+    haveBatched_ = true;
+}
+
+void
+Net::setListenerMuted(EdgeListener &listener, bool muted)
+{
+    for (Sub &sub : subs_) {
+        if (sub.listener == &listener) {
+            if (muted)
+                sub.mask |= kMaskMuted;
+            else
+                sub.mask &= static_cast<std::uint8_t>(~kMaskMuted);
+        }
+    }
+}
+
+void
 Net::force(bool v)
 {
+    // Keep deferred chunks aligned with forcing-mode boundaries.
+    flushDeferred();
     bool previous = value();
     forced_ = true;
     forcedValue_ = v;
@@ -179,6 +230,7 @@ Net::release()
 {
     if (!forced_)
         return;
+    flushDeferred();
     bool previous = forcedValue_;
     forced_ = false;
     if (previous != value_) {

@@ -66,6 +66,50 @@ expectSameSemantics(const ScenarioSpec &spec, std::uint64_t seed)
     EXPECT_EQ(b.trainEdges, 0u);
 }
 
+/**
+ * Everything that must not change when chunked dispatch is switched
+ * on -- including the kernel event count: chunking changes how many
+ * virtual calls deliver the edges, never what the kernel schedules.
+ * Energy totals are compared exactly (not approximately): the batched
+ * taps charge per edge, so the ledger doubles stay bit-identical.
+ */
+void
+expectSameChunkedSemantics(const ScenarioSpec &spec, std::uint64_t seed)
+{
+    ScenarioSpec on = spec;
+    on.chunkedDispatch = true;
+    on.captureVcd = true;
+    ScenarioSpec off = spec;
+    off.chunkedDispatch = false;
+    off.captureVcd = true;
+
+    ScenarioStats a = sweep::runScenario(on, seed);
+    ScenarioStats b = sweep::runScenario(off, seed);
+
+    SCOPED_TRACE("spec=" + spec.name + " seed=" + std::to_string(seed));
+    ASSERT_EQ(a.vcd, b.vcd) << "waveform diverged with chunking on";
+    EXPECT_EQ(a.vcdHash, b.vcdHash);
+    EXPECT_EQ(a.acked, b.acked);
+    EXPECT_EQ(a.naked, b.naked);
+    EXPECT_EQ(a.broadcasts, b.broadcasts);
+    EXPECT_EQ(a.interrupted, b.interrupted);
+    EXPECT_EQ(a.rxAborts, b.rxAborts);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.bytesDelivered, b.bytesDelivered);
+    EXPECT_EQ(a.payloadMismatches, b.payloadMismatches);
+    EXPECT_EQ(a.wedged, b.wedged);
+    EXPECT_EQ(a.clockCycles, b.clockCycles);
+    EXPECT_EQ(a.arbitrationRetries, b.arbitrationRetries);
+    EXPECT_EQ(a.simTime, b.simTime);
+    EXPECT_EQ(a.txLatenciesS, b.txLatenciesS);
+    EXPECT_EQ(a.perNodeEdges, b.perNodeEdges);
+    EXPECT_EQ(a.switchingJ, b.switchingJ);
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+    EXPECT_EQ(a.trainEdges, b.trainEdges);
+    // The point: strictly fewer listener virtual calls, same bits.
+    EXPECT_LT(a.dispatchCalls, b.dispatchCalls);
+}
+
 TEST(TrainEquivalence, RandomizedScenariosAreByteIdentical)
 {
     sim::Random rng(0xeda3u);
@@ -130,6 +174,77 @@ TEST(TrainEquivalence, InterjectionStormMidTrainSplitsCleanly)
         spec.payloadBytes = 16;
         spec.interjectRate = 1.0;
         expectSameSemantics(spec, seed);
+    }
+}
+
+TEST(TrainEquivalence, ChunkedDispatchIsByteIdentical)
+{
+    sim::Random rng(0xd15bu);
+    for (int i = 0; i < 18; ++i) {
+        ScenarioSpec spec;
+        spec.name = "eqcd" + std::to_string(i);
+        spec.nodes = 2 + static_cast<int>(rng.below(13));
+        spec.traffic = static_cast<TrafficPattern>(rng.below(4));
+        spec.messages = 3 + static_cast<int>(rng.below(5));
+        spec.payloadBytes = 1 + rng.below(12);
+        spec.priorityRate = rng.uniform() * 0.5;
+        spec.interjectRate = rng.uniform() * 0.6;
+        spec.powerGated = rng.chance(0.5);
+        spec.fullAddressing = rng.chance(0.3);
+        expectSameChunkedSemantics(
+            spec, 0xcd5eed00u + static_cast<std::uint64_t>(i));
+    }
+}
+
+TEST(TrainEquivalence, ChunkedDispatchWithoutTrainsIsByteIdentical)
+{
+    // Chunking composes with the all-discrete scheduler too: runs
+    // still defer and flush, only the delivery grouping differs.
+    sim::Random rng(0xd15c0u);
+    for (int i = 0; i < 6; ++i) {
+        ScenarioSpec spec;
+        spec.name = "eqcd_nt" + std::to_string(i);
+        spec.edgeTrains = false;
+        spec.nodes = 3 + static_cast<int>(rng.below(8));
+        spec.messages = 3 + static_cast<int>(rng.below(4));
+        spec.payloadBytes = 1 + rng.below(10);
+        spec.interjectRate = rng.uniform() * 0.5;
+        expectSameChunkedSemantics(
+            spec, 0xcdd15cu + static_cast<std::uint64_t>(i));
+    }
+}
+
+TEST(TrainEquivalence, BitbangCoalescingIsByteIdentical)
+{
+    // The mixed ring adds the software member's coalesced CLK ISR
+    // retirement trains on top of the net-level trains; switching
+    // edgeTrains off disables both at once, so this A/B covers the
+    // ISR confirm-or-split path against the fully discrete engine.
+    sim::Random rng(0xb17bau);
+    for (int i = 0; i < 4; ++i) {
+        ScenarioSpec spec;
+        spec.name = "eqbb" + std::to_string(i);
+        spec.backend = backend::BackendKind::Bitbang;
+        spec.nodes = 3 + static_cast<int>(rng.below(4));
+        spec.messages = 2 + static_cast<int>(rng.below(3));
+        spec.payloadBytes = 1 + rng.below(6);
+        spec.interjectRate = rng.uniform() * 0.4;
+        expectSameSemantics(
+            spec, 0xbb5eed00u + static_cast<std::uint64_t>(i));
+    }
+}
+
+TEST(TrainEquivalence, BitbangChunkedDispatchIsByteIdentical)
+{
+    for (int n : {3, 5}) {
+        ScenarioSpec spec;
+        spec.name = "eqbbcd" + std::to_string(n);
+        spec.backend = backend::BackendKind::Bitbang;
+        spec.nodes = n;
+        spec.messages = 3;
+        spec.payloadBytes = 4;
+        expectSameChunkedSemantics(
+            spec, 0xbbcd00u + static_cast<std::uint64_t>(n));
     }
 }
 

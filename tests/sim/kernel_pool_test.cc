@@ -238,6 +238,46 @@ TEST(KernelPool, EdgeTrainsDoNotAllocateAndRecycleTheirSlot)
     EXPECT_EQ(sink.edges, 64u + 200u * 52u);
 }
 
+TEST(KernelPool, SoaTagArraysSettleWithTheSlabAndStayAllocationFree)
+{
+    Simulator sim;
+
+    struct CountingSink final : EdgeSink
+    {
+        std::uint64_t edges = 0;
+        void onEdge(bool) override { ++edges; }
+    } sink;
+
+    // Cross a chunk boundary once so the slab AND the dense SoA tag
+    // arrays (occupied/entry generation vectors, resized only in
+    // addChunk) have grown to their working size.
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 300; ++i)
+        handles.push_back(sim.schedule(1, [] {}));
+    sim.run();
+    handles.clear();
+    const std::uint64_t growths = sim.queue().slabGrowths();
+    ASSERT_GE(growths, 1u) << "expected to cross a chunk boundary";
+
+    // Steady-state churn across every SoA hot path: plain closures,
+    // pooled edges, trains, confirms, stale-handle cancels. Tag
+    // reads/writes go through the dense arrays by slot index -- no
+    // per-slot allocation, and no further array growth.
+    std::uint64_t before = gAllocs.load();
+    for (int round = 0; round < 500; ++round) {
+        EventHandle e = sim.scheduleEdge(5, sink, (round & 1) != 0);
+        sim.schedule(7, [] {});
+        sim.scheduleEdgeTrain(10, 10, 16, sink, true);
+        sim.run();
+        e.cancel(); // Stale: exercises the dense-tag staleness check.
+    }
+    EXPECT_EQ(gAllocs.load() - before, 0u)
+        << "SoA steady state touched the allocator";
+    EXPECT_EQ(sim.queue().slabGrowths(), growths)
+        << "tag arrays / slab regrew in steady state";
+    EXPECT_EQ(sink.edges, 500u * 17u);
+}
+
 TEST(KernelPool, SameTimeFifoSurvivesSlotRecycling)
 {
     EventQueue q;

@@ -16,9 +16,9 @@
 #include "sim/simulator.hh"
 #include "wire/net.hh"
 
-namespace {
+// Shared across the tests_wire binary (net_train_test externs it):
+// the global operator new below bumps it on every heap allocation.
 std::atomic<std::uint64_t> gAllocs{0};
-}
 
 void *
 operator new(std::size_t size)

@@ -5,17 +5,28 @@
  * property -- that a train-enabled net delivers the exact same
  * (time, value) edge sequence as a discrete net for any drive
  * pattern, while retiring far fewer kernel events for rhythmic runs.
+ *
+ * Chunked-dispatch tests ride the same rigs: batched listeners must
+ * see the exact same edges (grouped into runs), in strictly fewer
+ * virtual calls, without touching the allocator in steady state.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "sim/simulator.hh"
 #include "wire/net.hh"
+
+// The counting global allocator lives in net_fanout_test.cc (one
+// definition per binary); its counter is shared across tests_wire.
+extern std::atomic<std::uint64_t> gAllocs;
 
 using namespace mbus;
 
@@ -207,6 +218,168 @@ TEST(NetTrain, ForcedNetKeepsCountersAndFanoutSemantics)
     }
     EXPECT_EQ(discrete.log.edges, trained.log.edges);
     EXPECT_EQ(discrete.net.transitions(), trained.net.transitions());
+}
+
+// --- Chunked dispatch -------------------------------------------------
+
+/** Batched listener: records every run and reconstructs the edge
+ *  sequence through EdgeRun's indexing. */
+struct RunLog final : wire::EdgeListener
+{
+    std::vector<bool> edges;
+    std::uint64_t runs = 0;
+
+    void
+    onNetEdge(wire::Net &, bool v) override
+    {
+        edges.push_back(v);
+        ++runs; // Unbatched fallback counts as a run of one.
+    }
+    void
+    onEdges(wire::Net &, wire::EdgeRun run) override
+    {
+        ++runs;
+        for (std::uint64_t i = 0; i < run.count; ++i)
+            edges.push_back(run[i]);
+        EXPECT_EQ(run.last(), edges.back());
+    }
+};
+
+TEST(NetTrain, ChunkedDispatchDeliversIdenticalEdgesInFewerCalls)
+{
+    auto drives = rhythm(1000 * sim::kNanosecond,
+                         500 * sim::kNanosecond, 64, false);
+
+    // Per-edge reference: a plain listener on an unchunked net.
+    Rig plain(true);
+    // Chunked: a batched listener on a chunked net (trains on too).
+    sim::Simulator sim;
+    wire::Net net(sim, "c", 10 * sim::kNanosecond, true);
+    net.enableEdgeTrains(16);
+    net.setChunkedDispatch(true);
+    RunLog batched;
+    net.listenBatched(batched);
+
+    for (const auto &d : drives) {
+        plain.sim.scheduleAt(d.first, [&plain, v = d.second] {
+            plain.net.drive(v);
+        });
+        sim.scheduleAt(d.first, [&net, v = d.second] { net.drive(v); });
+    }
+    plain.sim.run();
+    sim.run();
+    net.flushDeferred();
+
+    ASSERT_EQ(batched.edges.size(), plain.log.edges.size());
+    for (std::size_t i = 0; i < batched.edges.size(); ++i)
+        EXPECT_EQ(batched.edges[i], plain.log.edges[i].second);
+    EXPECT_LT(batched.runs, static_cast<std::uint64_t>(drives.size()))
+        << "batched listener should see runs, not single edges";
+    EXPECT_EQ(net.dispatchCalls(), batched.runs);
+}
+
+TEST(NetTrain, ForceAndReleaseFlushDeferredRuns)
+{
+    sim::Simulator sim;
+    wire::Net net(sim, "f", 10 * sim::kNanosecond, true);
+    net.setChunkedDispatch(true);
+    RunLog batched;
+    net.listenBatched(batched);
+
+    for (const auto &d : rhythm(1000 * sim::kNanosecond,
+                                500 * sim::kNanosecond, 6, false))
+        sim.scheduleAt(d.first, [&net, v = d.second] { net.drive(v); });
+    // Force mid-stream: the deferred run must flush BEFORE the forced
+    // edge fans out, so the batched listener sees edges in order.
+    sim.scheduleAt(2200 * sim::kNanosecond, [&net] { net.force(true); });
+    sim.scheduleAt(2700 * sim::kNanosecond, [&net] { net.release(); });
+    sim.run();
+    net.flushDeferred();
+
+    // Reference: identical schedule on an unchunked net.
+    sim::Simulator refSim;
+    wire::Net refNet(refSim, "f", 10 * sim::kNanosecond, true);
+    EdgeLog ref;
+    ref.sim = &refSim;
+    refNet.listen(wire::Edge::Any, ref);
+    for (const auto &d : rhythm(1000 * sim::kNanosecond,
+                                500 * sim::kNanosecond, 6, false))
+        refSim.scheduleAt(d.first,
+                          [&refNet, v = d.second] { refNet.drive(v); });
+    refSim.scheduleAt(2200 * sim::kNanosecond,
+                      [&refNet] { refNet.force(true); });
+    refSim.scheduleAt(2700 * sim::kNanosecond,
+                      [&refNet] { refNet.release(); });
+    refSim.run();
+
+    ASSERT_EQ(batched.edges.size(), ref.edges.size());
+    for (std::size_t i = 0; i < batched.edges.size(); ++i)
+        EXPECT_EQ(batched.edges[i], ref.edges[i].second);
+}
+
+TEST(NetTrain, MutedListenerReceivesNothingAndCountsNoCalls)
+{
+    sim::Simulator sim;
+    wire::Net net(sim, "m", 10 * sim::kNanosecond, true);
+    net.setChunkedDispatch(true);
+    RunLog muted, live;
+    net.listenBatched(muted);
+    net.listenBatched(live);
+    net.setListenerMuted(muted, true);
+
+    for (const auto &d : rhythm(1000 * sim::kNanosecond,
+                                500 * sim::kNanosecond, 8, false))
+        sim.scheduleAt(d.first, [&net, v = d.second] { net.drive(v); });
+    sim.run();
+    net.flushDeferred();
+
+    EXPECT_TRUE(muted.edges.empty());
+    EXPECT_EQ(live.edges.size(), 8u);
+    EXPECT_EQ(net.dispatchCalls(), live.runs);
+
+    net.setListenerMuted(muted, false);
+    sim.scheduleAt(sim.now() + 500 * sim::kNanosecond,
+                   [&net] { net.drive(false); });
+    sim.run();
+    net.flushDeferred();
+    EXPECT_EQ(muted.edges.size(), 1u) << "unmute must restore delivery";
+}
+
+TEST(NetTrain, BatchedPathDoesNotAllocateInSteadyState)
+{
+    sim::Simulator sim;
+    wire::Net net(sim, "z", 10 * sim::kNanosecond, true);
+    net.enableEdgeTrains(16);
+    net.setChunkedDispatch(true);
+    RunLog batched;
+    net.listenBatched(batched);
+
+    // Warm-up: slab, heap vector, listener table, log capacity.
+    batched.edges.reserve(4096);
+    for (const auto &d : rhythm(1000 * sim::kNanosecond,
+                                500 * sim::kNanosecond, 32, false))
+        sim.scheduleAt(d.first, [&net, v = d.second] { net.drive(v); });
+    sim.run();
+    net.flushDeferred();
+
+    // Steady state: rhythmic drives ride trains, fanout defers into
+    // the shared pending run, flushes deliver EdgeRun by value -- no
+    // materialized span, no allocation anywhere on the path.
+    struct Driver final : sim::EdgeSink
+    {
+        wire::Net *net = nullptr;
+        void onEdge(bool v) override { net->drive(v); }
+    } driver;
+    driver.net = &net;
+    const std::uint64_t before = gAllocs.load();
+    sim.scheduleEdgeTrain(500 * sim::kNanosecond,
+                          500 * sim::kNanosecond, 2000, driver,
+                          !net.value());
+    sim.run();
+    net.flushDeferred();
+    EXPECT_EQ(gAllocs.load() - before, 0u)
+        << "chunked dispatch steady state must not allocate";
+    EXPECT_EQ(batched.edges.size(), 32u + 2000u);
 }
 
 } // namespace
