@@ -1,0 +1,139 @@
+/**
+ * @file
+ * CI smoke for the firmware-in-the-loop backend: the canonical
+ * sensing+imaging+storm mix on the mixed ring, once with the
+ * behavioral software member (bitbang) and once with the ported
+ * libmbus firmware (firmware), each quiet and stormy, run on 2
+ * worker threads and re-run single-threaded.
+ *
+ * Three gates, any failure exits non-zero:
+ *  - determinism: 2-thread and 1-thread outputs byte-identical
+ *    (CSV + JSON + fingerprint);
+ *  - health: no wedge, no corrupted delivery, samples actually
+ *    delivered, outcome counters sum to plan;
+ *  - equivalence: for each storm level, the firmware cell's
+ *    bus-observable stats match the behavioral model's cell exactly
+ *    (delivered samples/bytes, outcome counts, switching energy) --
+ *    the standing differential guarantee, enforced on every CI run.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "sweep/sweep.hh"
+
+using namespace mbus;
+
+int
+main(int argc, char **argv)
+{
+    const char *out = "firmware_smoke.csv";
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--out") == 0)
+            out = argv[i + 1];
+
+    benchutil::banner(
+        "Firmware smoke: libmbus FSM vs behavioral model, 2-thread "
+        "vs 1-thread byte identity",
+        "firmware-in-the-loop self-check (CI gate)");
+
+    // One WorkloadSpec, both software-member flavors, quiet + storm.
+    std::vector<sweep::ScenarioSpec> grid;
+    for (backend::BackendKind kind : {backend::BackendKind::Bitbang,
+                                      backend::BackendKind::Firmware}) {
+        for (double storm : {0.0, 0.15}) {
+            sweep::ScenarioSpec s = benchutil::canonicalWorkloadCell(
+                /*nodes=*/3, /*clockHz=*/400e3, storm, /*smoke=*/true);
+            s.workload.durationS = 6.0;
+            s.backend = kind;
+            s.name = std::string(backend::backendKindName(kind)) +
+                     (storm > 0 ? "_storm" : "_quiet");
+            grid.push_back(std::move(s));
+        }
+    }
+
+    sweep::SweepConfig sharded;
+    sharded.threads = 2;
+    sweep::SweepConfig solo;
+    solo.threads = 1;
+    sweep::SweepResult a = sweep::SweepDriver(sharded).run(grid);
+    sweep::SweepResult b = sweep::SweepDriver(solo).run(grid);
+
+    std::ostringstream csvA, csvB, jsonA, jsonB;
+    a.writeCsv(csvA);
+    b.writeCsv(csvB);
+    a.writeJson(jsonA);
+    b.writeJson(jsonB);
+    bool identical = csvA.str() == csvB.str() &&
+                     jsonA.str() == jsonB.str() &&
+                     a.fingerprint() == b.fingerprint();
+
+    std::printf("%-18s %9s %9s %12s %12s %12s %10s\n", "cell",
+                "samples", "missed", "e/sample[J]", "lat_p99[s]",
+                "lifetime[d]", "wedged");
+    bool healthy = true;
+    for (const sweep::CellResult &c : a.cells()) {
+        const sweep::ScenarioStats &s = c.stats;
+        std::printf("%-18s %5d/%-3d %9d %12.3e %12.3e %12.1f %10s\n",
+                    c.spec.name.c_str(), s.samplesDelivered,
+                    s.samplesPlanned, s.missedDeadlines,
+                    s.energyPerSampleJ, s.latencyP99S, s.lifetimeDays,
+                    s.wedged ? "WEDGED" : "no");
+        if (s.wedged || s.payloadMismatches != 0 ||
+            s.samplesDelivered == 0)
+            healthy = false;
+        if (s.planned != s.acked + s.naked + s.broadcasts +
+                             s.interrupted + s.rxAborts + s.failed)
+            healthy = false;
+    }
+
+    // Differential gate: replay the model cells' exact (spec, seed)
+    // with only the software-member flavor swapped. (The sweep grid's
+    // firmware cells sit at different indices, hence different
+    // driver-derived seeds -- not comparable directly.)
+    bool equivalent = true;
+    for (std::size_t i = 0; i < 2; ++i) {
+        const sweep::ScenarioStats &m = a.cells()[i].stats;
+        sweep::ScenarioSpec twin = a.cells()[i].spec;
+        twin.backend = backend::BackendKind::Firmware;
+        sweep::ScenarioStats f =
+            sweep::runScenario(twin, a.cells()[i].seed);
+        bool same = m.samplesDelivered == f.samplesDelivered &&
+                    m.missedDeadlines == f.missedDeadlines &&
+                    m.acked == f.acked && m.naked == f.naked &&
+                    m.interrupted == f.interrupted &&
+                    m.failed == f.failed &&
+                    m.bytesDelivered == f.bytesDelivered &&
+                    m.clockCycles == f.clockCycles &&
+                    m.switchingJ == f.switchingJ;
+        std::printf("differential %-7s: model vs firmware %s\n",
+                    i == 0 ? "quiet" : "storm",
+                    same ? "EQUAL" : "DIVERGED");
+        if (!same)
+            equivalent = false;
+    }
+
+    std::printf("fingerprint=%016llx (2 threads) vs %016llx (1 "
+                "thread): %s\n",
+                static_cast<unsigned long long>(a.fingerprint()),
+                static_cast<unsigned long long>(b.fingerprint()),
+                identical ? "IDENTICAL" : "DIVERGED");
+    std::printf("wall: %.3f s across %zu cells (2 threads)\n",
+                a.totalWallSeconds(), a.size());
+
+    std::ofstream os(out);
+    a.writeCsv(os, /*includeWallTime=*/true);
+    std::printf("wrote %s\n", out);
+
+    if (!identical || !healthy || !equivalent) {
+        std::printf("FIRMWARE SMOKE FAILED\n");
+        return 1;
+    }
+    std::printf("FIRMWARE SMOKE OK\n");
+    return 0;
+}

@@ -18,12 +18,14 @@
  *    mix (benchutil::canonicalWorkloadCell, the cell workload_mix
  *    documents), events per completed wire data bit through the
  *    workload engine's hot path;
- *  - i2c_std_mix / bitbang_mix: the same canonical mix through the
- *    transactional-I2C and mixed bit-banged-ring backends, gating
- *    the scheduler cost of the non-MBus fabrics;
- *  - workload_mix_dispatch / bitbang_mix_dispatch: listener virtual
- *    calls per completed wire data bit on the same cells -- the cost
- *    chunked dispatch (Net::onEdges batching) keeps down;
+ *  - i2c_std_mix / bitbang_mix / firmware_mix: the same canonical
+ *    mix through the transactional-I2C, mixed bit-banged-ring, and
+ *    firmware-in-the-loop backends, gating the scheduler cost of
+ *    the non-MBus fabrics;
+ *  - workload_mix_dispatch / bitbang_mix_dispatch /
+ *    firmware_mix_dispatch: listener virtual calls per completed
+ *    wire data bit on the same cells -- the cost chunked dispatch
+ *    (Net::onEdges batching) keeps down;
  *
  * and fails if any metric regresses more than 10% over the
  * checked-in baseline (bench/perf_baseline.json). Regenerate the
@@ -125,7 +127,10 @@ struct MixCosts
 MixCosts
 backendMixCosts(backend::BackendKind kind)
 {
-    int nodes = kind == backend::BackendKind::Bitbang ? 3 : 4;
+    int nodes = (kind == backend::BackendKind::Bitbang ||
+                 kind == backend::BackendKind::Firmware)
+                    ? 3
+                    : 4;
     sweep::ScenarioSpec spec = benchutil::canonicalWorkloadCell(
         nodes, /*clockHz=*/400e3, /*stormFrac=*/0.10,
         /*smoke=*/true);
@@ -192,12 +197,16 @@ main(int argc, char **argv)
     MixCosts mbusMix = backendMixCosts(backend::BackendKind::Mbus);
     MixCosts i2cMix = backendMixCosts(backend::BackendKind::I2cStd);
     MixCosts bbMix = backendMixCosts(backend::BackendKind::Bitbang);
+    MixCosts fwMix = backendMixCosts(backend::BackendKind::Firmware);
     metrics.push_back({"workload_mix", mbusMix.eventsPerBit});
     metrics.push_back({"i2c_std_mix", i2cMix.eventsPerBit});
     metrics.push_back({"bitbang_mix", bbMix.eventsPerBit});
+    metrics.push_back({"firmware_mix", fwMix.eventsPerBit});
     metrics.push_back(
         {"workload_mix_dispatch", mbusMix.dispatchPerBit});
     metrics.push_back({"bitbang_mix_dispatch", bbMix.dispatchPerBit});
+    metrics.push_back(
+        {"firmware_mix_dispatch", fwMix.dispatchPerBit});
 
     if (!writePath.empty()) {
         std::ofstream out(writePath);

@@ -17,6 +17,7 @@ backendKindName(BackendKind k)
     case BackendKind::I2cStd: return "i2c_std";
     case BackendKind::I2cOracle: return "i2c_oracle";
     case BackendKind::Bitbang: return "bitbang";
+    case BackendKind::Firmware: return "firmware";
     }
     return "?";
 }
@@ -26,7 +27,8 @@ backendKindFromName(const std::string &name, BackendKind &out)
 {
     for (BackendKind k :
          {BackendKind::Mbus, BackendKind::I2cStd,
-          BackendKind::I2cOracle, BackendKind::Bitbang}) {
+          BackendKind::I2cOracle, BackendKind::Bitbang,
+          BackendKind::Firmware}) {
         if (name == backendKindName(k)) {
             out = k;
             return true;
@@ -49,7 +51,11 @@ makeBackend(BackendKind kind, sim::Simulator &sim,
         return std::make_unique<I2cBackend>(
             sim, params, baseline::I2cSizing::Oracle);
     case BackendKind::Bitbang:
-        return std::make_unique<BitbangBackend>(sim, params);
+        return std::make_unique<BitbangBackend>(
+            sim, params, BitbangBackend::SoftFlavor::Model);
+    case BackendKind::Firmware:
+        return std::make_unique<BitbangBackend>(
+            sim, params, BitbangBackend::SoftFlavor::Firmware);
     }
     mbus_fatal("unknown backend kind ", static_cast<int>(kind));
     return nullptr;

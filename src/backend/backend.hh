@@ -52,6 +52,8 @@ enum class BackendKind : std::uint8_t {
     I2cStd,    ///< Transactional I2C, fixed 300 ns rise sizing.
     I2cOracle, ///< Transactional I2C, oracle pull-up sizing (Sec 6.2).
     Bitbang,   ///< Mixed ring with a four-GPIO software member.
+    Firmware,  ///< Mixed ring; the software member runs the ported
+               ///< libmbus firmware FSM (firmware-in-the-loop).
 };
 
 /** @return a short printable name ("mbus", "i2c_std", ...). */
@@ -73,6 +75,16 @@ struct BusParams
     bool powerGated = false;    ///< Power-gate member nodes.
     bool edgeTrains = true;     ///< Kernel edge-train batching.
     bool chunkedDispatch = true; ///< Batched listener dispatch.
+    std::size_t softRxCapacity = 256; ///< Software member's receive
+                                      ///< buffer (bitbang/firmware).
+
+    // Firmware-flavor knobs (the ISR-latency x bus-clock ceiling
+    // sweep); other kinds ignore them.
+    std::uint32_t fwIsrJitterCycles = 0; ///< Extra ISR-entry jitter.
+    bool fwMergeMissedEdges = false; ///< Absorb edges while pending
+                                     ///< (real-MCU interrupt flags).
+    bool allowUnsafeClock = false;   ///< Skip the software-member
+                                     ///< clock clamp (ceiling probe).
 };
 
 /**

@@ -21,8 +21,9 @@ constexpr double kClockHeadroom = 0.8;
 } // namespace
 
 BitbangBackend::BitbangBackend(sim::Simulator &sim,
-                               const BusParams &params)
-    : sim_(sim), params_(params),
+                               const BusParams &params,
+                               SoftFlavor flavor)
+    : sim_(sim), params_(params), flavor_(flavor),
       nodes_(static_cast<std::size_t>(params.nodes)),
       ledger_(nodes_),
       energy_(power::kSimCalibration,
@@ -36,6 +37,7 @@ BitbangBackend::BitbangBackend(sim::Simulator &sim,
 
     bitbang::BitbangMbus::Config bbCfg;
     bbCfg.shortPrefix = static_cast<std::uint8_t>(nodes_);
+    bbCfg.rxCapacityBytes = params.softRxCapacity;
 
     cfg_.hopDelay =
         static_cast<sim::SimTime>(params.hopDelayNs * 1000.0 + 0.5);
@@ -50,8 +52,13 @@ BitbangBackend::BitbangBackend(sim::Simulator &sim,
     // round trip (same 2.5x budget MixedRing uses).
     cfg_.extraRingLatency = 2 * bbCfg.cost.responseLatency() +
                             bbCfg.cost.responseLatency() / 2;
+    // The ceiling probe deliberately overclocks the software member
+    // past its ISR envelope; everything else stays clamped safe.
     cfg_.busClockHz =
-        std::min(params.busClockHz, kClockHeadroom * maxSafeClockHz());
+        params.allowUnsafeClock
+            ? params.busClockHz
+            : std::min(params.busClockHz,
+                       kClockHeadroom * maxSafeClockHz());
 
     for (std::size_t i = 0; i < nodes_; ++i) {
         std::string base = "n" + std::to_string(i);
@@ -106,9 +113,24 @@ BitbangBackend::BitbangBackend(sim::Simulator &sim,
                      *dataSegs_[i], {}, {}, /*isMediatorHost=*/i == 0,
                      i == 0 ? link_.get() : nullptr);
     }
-    bitbang_ = std::make_unique<bitbang::BitbangMbus>(
-        sim_, bbCfg, *clkSegs_[nodes_ - 2], *clkSegs_[nodes_ - 1],
-        *dataSegs_[nodes_ - 2], *dataSegs_[nodes_ - 1]);
+    // Both flavors attach their listeners at the same construction
+    // position, so same-timestamp event insertion order -- and with
+    // it the shared VCD waveform -- is identical across flavors.
+    if (flavor_ == SoftFlavor::Model) {
+        bitbang_ = std::make_unique<bitbang::BitbangMbus>(
+            sim_, bbCfg, *clkSegs_[nodes_ - 2], *clkSegs_[nodes_ - 1],
+            *dataSegs_[nodes_ - 2], *dataSegs_[nodes_ - 1]);
+    } else {
+        firmware::FirmwareNode::Config fwCfg;
+        fwCfg.shortPrefix = static_cast<std::uint8_t>(nodes_);
+        fwCfg.cost = bbCfg.cost;
+        fwCfg.rxCapacityBytes = params.softRxCapacity;
+        fwCfg.isrJitterCycles = params.fwIsrJitterCycles;
+        fwCfg.mergeMissedEdges = params.fwMergeMissedEdges;
+        fw_ = std::make_unique<firmware::FirmwareNode>(
+            sim_, fwCfg, *clkSegs_[nodes_ - 2], *clkSegs_[nodes_ - 1],
+            *dataSegs_[nodes_ - 2], *dataSegs_[nodes_ - 1]);
+    }
 
     bus::Mediator::Context mctx{sim_,
                                 cfg_,
@@ -164,7 +186,10 @@ BitbangBackend::send(std::size_t node, bus::Message msg,
                      bus::SendCallback cb)
 {
     if (isSoft(node)) {
-        bitbang_->send(std::move(msg), std::move(cb));
+        if (fw_)
+            fw_->send(std::move(msg), std::move(cb));
+        else
+            bitbang_->send(std::move(msg), std::move(cb));
         return;
     }
     hw_[node]->send(std::move(msg), std::move(cb));
@@ -195,10 +220,22 @@ BitbangBackend::wake(std::size_t node)
 }
 
 std::size_t
+BitbangBackend::softPendingTx() const
+{
+    return fw_ ? fw_->pendingTx() : bitbang_->pendingTx();
+}
+
+bool
+BitbangBackend::softIdle() const
+{
+    return fw_ ? fw_->idle() : bitbang_->idle();
+}
+
+std::size_t
 BitbangBackend::pendingTx(std::size_t node) const
 {
     if (isSoft(node))
-        return bitbang_->pendingTx();
+        return softPendingTx();
     return hw_[node]->busController().pendingTx();
 }
 
@@ -246,13 +283,22 @@ BitbangBackend::setDeliveryHandler(DeliveryHandler h)
                     h(i, rx);
             });
     }
-    if (!h) {
-        bitbang_->setReceiveCallback(nullptr);
-        return;
+    bus::ReceiveCallback softCb;
+    if (h) {
+        std::size_t soft = softIndex();
+        softCb = [h, soft](const bus::ReceivedMessage &rx) {
+            // Filter system broadcasts (enumeration/config channels),
+            // as the hardware nodes' broadcast handler does above.
+            if (rx.dest.isBroadcast() &&
+                rx.dest.channel() < bus::kChannelUserBase)
+                return;
+            h(soft, rx);
+        };
     }
-    std::size_t soft = softIndex();
-    bitbang_->setReceiveCallback(
-        [h, soft](const bus::ReceivedMessage &rx) { h(soft, rx); });
+    if (fw_)
+        fw_->setReceiveCallback(std::move(softCb));
+    else
+        bitbang_->setReceiveCallback(std::move(softCb));
 }
 
 bool
@@ -263,7 +309,7 @@ BitbangBackend::runUntilIdle(sim::SimTime timeout)
                              : sim_.now() + timeout;
     return sim_.runUntil(
         [this] {
-            if (!mediator_->asleep() || !bitbang_->idle())
+            if (!mediator_->asleep() || !softIdle())
                 return false;
             for (auto &n : hw_) {
                 if (n->sleepController().transactionActive() ||
@@ -287,7 +333,9 @@ BitbangBackend::attachTrace(sim::TraceRecorder &recorder)
 double
 BitbangBackend::softCpuEnergyJ() const
 {
-    return static_cast<double>(bitbang_->stats().cyclesSpent) *
+    std::uint64_t cycles = fw_ ? fw_->stats().cyclesSpent
+                               : bitbang_->stats().cyclesSpent;
+    return static_cast<double>(cycles) *
            power::kProcessorEnergyPerCycleJ;
 }
 

@@ -26,6 +26,7 @@
 
 #include "backend/backend.hh"
 #include "bitbang/bitbang_mbus.hh"
+#include "firmware/firmware_node.hh"
 #include "mbus/mediator.hh"
 #include "mbus/node.hh"
 #include "power/energy.hh"
@@ -38,9 +39,21 @@ namespace backend {
 class BitbangBackend final : public BusBackend
 {
   public:
-    BitbangBackend(sim::Simulator &sim, const BusParams &params);
+    /** Which engine runs the software member: the behavioral
+     *  BitbangMbus model, or the ported libmbus firmware FSM
+     *  (firmware::FirmwareNode). The two are differentially tested
+     *  to produce identical waveforms, deliveries, and energy. */
+    enum class SoftFlavor : std::uint8_t { Model, Firmware };
 
-    BackendKind kind() const override { return BackendKind::Bitbang; }
+    BitbangBackend(sim::Simulator &sim, const BusParams &params,
+                   SoftFlavor flavor = SoftFlavor::Model);
+
+    BackendKind
+    kind() const override
+    {
+        return flavor_ == SoftFlavor::Model ? BackendKind::Bitbang
+                                            : BackendKind::Firmware;
+    }
     std::size_t nodeCount() const override { return nodes_; }
     double busClockHz() const override { return cfg_.busClockHz; }
     double maxSafeClockHz() const override;
@@ -69,8 +82,13 @@ class BitbangBackend final : public BusBackend
     std::uint64_t clockCycles() const override;
     std::uint64_t dispatchCalls() const override;
 
-    /** The software member (stats, ISR diagnostics). */
+    /** The software member (stats, ISR diagnostics).
+     *  Model flavor only -- null under SoftFlavor::Firmware. */
     bitbang::BitbangMbus &softNode() { return *bitbang_; }
+
+    /** The firmware software member.
+     *  Firmware flavor only -- null under SoftFlavor::Model. */
+    firmware::FirmwareNode &firmwareNode() { return *fw_; }
 
     /** Index of the software member on the ring (n - 1). */
     std::size_t softIndex() const { return nodes_ - 1; }
@@ -107,6 +125,8 @@ class BitbangBackend final : public BusBackend
 
     bool isSoft(std::size_t node) const { return node == nodes_ - 1; }
     double softCpuEnergyJ() const;
+    bool softIdle() const;
+    std::size_t softPendingTx() const;
 
     /** Deliver any deferred batched edge runs (energy taps) so the
      *  ledger totals below are complete at any read point. */
@@ -114,6 +134,7 @@ class BitbangBackend final : public BusBackend
 
     sim::Simulator &sim_;
     BusParams params_;
+    SoftFlavor flavor_;
     std::size_t nodes_;
     bus::SystemConfig cfg_;
     power::EnergyLedger ledger_;
@@ -123,6 +144,7 @@ class BitbangBackend final : public BusBackend
     std::vector<std::unique_ptr<wire::Net>> dataSegs_;
     std::vector<std::unique_ptr<bus::Node>> hw_;
     std::unique_ptr<bitbang::BitbangMbus> bitbang_;
+    std::unique_ptr<firmware::FirmwareNode> fw_;
     std::vector<std::unique_ptr<SegmentTap>> taps_;
     std::unique_ptr<bus::MediatorHostLink> link_;
     std::unique_ptr<bus::Mediator> mediator_;

@@ -157,6 +157,7 @@ void
 BitbangMbus::clkIsrBody(bool level)
 {
     intjCount_ = 0; // CLK edge resets the software interjection counter.
+    lastClkIn_ = level;
 
     // Forward first (the write is what downstream timing sees).
     if (fwdClk_)
@@ -167,6 +168,9 @@ BitbangMbus::clkIsrBody(bool level)
         role_ = Role::None;
         rising_ = falling_ = 0;
         wonArb_ = false;
+        wonPriority_ = false;
+        backedOff_ = false;
+        priorityDriven_ = false;
         addressResolved_ = false;
         addrAccum_ = 0;
         addrBitsSeen_ = 0;
@@ -174,6 +178,9 @@ BitbangMbus::clkIsrBody(bool level)
         rxBytes_.clear();
         rxBitBuffer_ = 0;
         rxBitsPending_ = 0;
+        txBitsDriven_ = 0;
+        txError_ = bus::LocalError::None;
+        rxOverflowed_ = false;
     }
 
     if (level)
@@ -199,42 +206,88 @@ BitbangMbus::clkIsrBody(bool level)
                         bus::TxResult result;
                         // {1,0} ACK, {1,1} NAK, {0,1} interrupted by
                         // a third party, {0,0} general error -- the
-                        // hardware controller's code points.
-                        result.status =
-                            ctlBit0_
-                                ? (!bit1 ? bus::TxStatus::Ack
-                                         : bus::TxStatus::Nak)
-                                : (bit1 ? bus::TxStatus::Interrupted
-                                        : bus::TxStatus::GeneralError);
-                        result.bytesSent = tx.msg.payload.size();
+                        // hardware controller's code points. A local
+                        // error (data synch) trumps the wire bits,
+                        // and broadcasts have no single ACKer.
+                        bool broadcast = tx.msg.dest.isBroadcast();
+                        if (txError_ != bus::LocalError::None) {
+                            result.status = bus::TxStatus::GeneralError;
+                            result.error = txError_;
+                        } else if (ctlBit0_) {
+                            result.status =
+                                broadcast
+                                    ? bus::TxStatus::Broadcast
+                                    : (!bit1 ? bus::TxStatus::Ack
+                                             : bus::TxStatus::Nak);
+                        } else if (bit1) {
+                            result.status = bus::TxStatus::Interrupted;
+                            result.error = bus::LocalError::Interrupted;
+                        } else {
+                            result.status = bus::TxStatus::GeneralError;
+                        }
+                        if (result.status == bus::TxStatus::Ack ||
+                            result.status == bus::TxStatus::Nak ||
+                            result.status == bus::TxStatus::Broadcast) {
+                            result.bytesSent = tx.msg.payload.size();
+                        } else {
+                            // Complete payload bytes that made it out
+                            // before the cut (address bits excluded).
+                            std::uint32_t addrBits =
+                                static_cast<std::uint32_t>(
+                                    tx.msg.dest.bitCount());
+                            result.bytesSent =
+                                txBitsDriven_ > addrBits
+                                    ? (txBitsDriven_ - addrBits) / 8
+                                    : 0;
+                        }
+                        result.arbitrationRetries =
+                            tx.attempts > 0 ? tx.attempts - 1 : 0;
                         result.completedAt = sim_.now();
                         auto cb = std::move(tx.cb);
                         sim_.schedule(0, [cb, result] { cb(result); });
                     }
                 }
-                if (role_ == Role::Rx && ctlBit0_ && rxCb_) {
-                    ++stats_.messagesReceived;
-                    bus::ReceivedMessage rx;
-                    rx.dest = rxAddr_;
-                    rx.payload = rxBytes_;
-                    rx.receivedAt = sim_.now();
-                    auto cb = rxCb_;
-                    sim_.schedule(0, [cb, rx] { cb(rx); });
+                if (role_ == Role::Rx && rxCb_) {
+                    // Deliver on clean EoM, and on an abort code
+                    // ({0,1}) when bytes already landed -- flagged, so
+                    // the layer above sees the truncation (the seed
+                    // model delivered only clean EoM, silently
+                    // dropping everything a third-party cut).
+                    bool eom = ctlBit0_;
+                    bool abortCode = !ctlBit0_ && bit1;
+                    if (eom || (abortCode && !rxBytes_.empty())) {
+                        ++stats_.messagesReceived;
+                        bus::ReceivedMessage rx;
+                        rx.dest = rxAddr_;
+                        rx.payload = rxBytes_;
+                        rx.interjected = !eom;
+                        rx.error =
+                            rxOverflowed_
+                                ? bus::LocalError::RecvOverflow
+                                : (eom ? bus::LocalError::None
+                                       : bus::LocalError::Interrupted);
+                        rx.receivedAt = sim_.now();
+                        auto cb = rxCb_;
+                        sim_.schedule(0, [cb, rx] { cb(rx); });
+                    }
                 }
             } else if (rc == 4) {
                 beginIdle();
             }
         } else {
             std::uint32_t fc = falling_ - ctlFalling_;
-            if (fc == 2 && (role_ == Role::Tx || iAmInterjector_)) {
-                // Bit 0: the transmitter signals clean end-of-message
-                // by driving high; a transmitter cut by a third party
-                // drives low (mirrors the hardware controller, so the
-                // receiver flags the truncated delivery).
-                fwdData_ = false;
-                dataOut_.drive(iAmInterjector_);
+            if (fc == 2) {
+                if (role_ == Role::Tx) {
+                    // Bit 0: the transmitter signals clean
+                    // end-of-message by driving high; a transmitter
+                    // cut by a third party (or cutting itself on a
+                    // local error) drives low, so the receiver flags
+                    // the truncated delivery.
+                    fwdData_ = false;
+                    dataOut_.drive(iAmInterjector_ && interjectorEom_);
+                }
             } else if (fc == 3) {
-                if (role_ == Role::Tx || iAmInterjector_) {
+                if (role_ == Role::Tx) {
                     fwdData_ = true;
                     dataOut_.drive(dataIn_.value());
                 }
@@ -242,6 +295,12 @@ BitbangMbus::clkIsrBody(bool level)
                     !rxAddr_.isBroadcast()) {
                     fwdData_ = false;
                     dataOut_.drive(false); // ACK.
+                }
+                if (iAmInterjector_ && role_ != Role::Tx) {
+                    // A non-transmitter interjector (receive overflow)
+                    // drives the abort code {0,1}.
+                    fwdData_ = false;
+                    dataOut_.drive(true);
                 }
             } else if (fc == 4) {
                 fwdData_ = true;
@@ -266,12 +325,19 @@ BitbangMbus::handleRising(bool dataAtIsr)
         return;
     }
     if (rising_ == 2) {
-        if (wonArb_ && dataAtIsr)
-            wonArb_ = false; // Priority request upstream: back off.
+        if (wonArb_ && dataAtIsr) {
+            // Priority request upstream: back off (release at f3).
+            wonArb_ = false;
+            backedOff_ = true;
+        } else if (priorityDriven_) {
+            // We claimed the priority cycle; a low on DIN means no
+            // requester upstream outranks us.
+            wonPriority_ = !dataAtIsr;
+        }
         return;
     }
     if (rising_ == 3) {
-        if (wonArb_) {
+        if (wonArb_ || wonPriority_) {
             role_ = Role::Tx;
             const bus::Message &msg = txQueue_.front().msg;
             txBits_.clear();
@@ -282,6 +348,7 @@ BitbangMbus::handleRising(bool dataAtIsr)
                 for (int i = 7; i >= 0; --i)
                     txBits_.push_back((byte >> i) & 1);
             txTotal_ = static_cast<std::uint32_t>(txBits_.size());
+            txBitsDriven_ = 0;
         } else {
             role_ = Role::Fwd;
             // Lost arbitration: retry from the next idle window.
@@ -291,12 +358,17 @@ BitbangMbus::handleRising(bool dataAtIsr)
     }
 
     if (role_ == Role::Tx) {
-        if (rising_ == 3 + txTotal_) {
-            // End of message: stop forwarding CLK (hold it high).
-            iAmInterjector_ = true;
-            fwdClk_ = false;
-            phase_ = Phase::IntjWait;
+        std::uint32_t idx = rising_ - 4;
+        if (idx < txTotal_ && dataAtIsr != (txBits_[idx] != 0)) {
+            // The bit echoed around the ring disagrees with what we
+            // drove: MBUS_DATA_SYNCH_ERROR in the firmware. Cut the
+            // message with an error interjection.
+            txError_ = bus::LocalError::DataSynch;
+            requestInterjection(false);
+            return;
         }
+        if (rising_ == 3 + txTotal_)
+            requestInterjection(true); // End of message.
         return;
     }
 
@@ -313,8 +385,12 @@ BitbangMbus::handleRising(bool dataAtIsr)
             if (addrBitsExpected_ == 8) {
                 rxAddr_ = bus::Address::decodeShort(
                     static_cast<std::uint8_t>(addrAccum_ & 0xFF));
-                if (!rxAddr_.isBroadcast() && cfg_.shortPrefix != 0 &&
-                    rxAddr_.shortPrefix() == cfg_.shortPrefix) {
+                if (rxAddr_.isBroadcast()) {
+                    // The firmware receives every broadcast channel;
+                    // channel filtering happens a layer up.
+                    role_ = Role::Rx;
+                } else if (cfg_.shortPrefix != 0 &&
+                           rxAddr_.shortPrefix() == cfg_.shortPrefix) {
                     role_ = Role::Rx;
                 }
             }
@@ -324,6 +400,13 @@ BitbangMbus::handleRising(bool dataAtIsr)
     if (role_ == Role::Rx) {
         rxBitBuffer_ = (rxBitBuffer_ << 1) | (dataAtIsr ? 1 : 0);
         if (++rxBitsPending_ == 8) {
+            if (rxBytes_.size() >= cfg_.rxCapacityBytes) {
+                // Receive buffer full: MBUS_RECV_OVERFLOW. Interject
+                // rather than drop bytes silently.
+                rxOverflowed_ = true;
+                requestInterjection(false);
+                return;
+            }
             rxBytes_.push_back(
                 static_cast<std::uint8_t>(rxBitBuffer_ & 0xFF));
             rxBitBuffer_ = 0;
@@ -333,26 +416,53 @@ BitbangMbus::handleRising(bool dataAtIsr)
 }
 
 void
+BitbangMbus::requestInterjection(bool eom)
+{
+    // Stop forwarding CLK: the mediator sees the held-high clock and
+    // starts the control sequence (Sec 4.4).
+    iAmInterjector_ = true;
+    interjectorEom_ = eom;
+    fwdClk_ = false;
+    phase_ = Phase::IntjWait;
+}
+
+void
 BitbangMbus::handleFalling()
 {
     if (falling_ == 2) {
         if (requested_ && !wonArb_) {
-            fwdData_ = true;
-            dataOut_.drive(dataIn_.value()); // Release the request.
+            if (!txQueue_.empty() && txQueue_.front().msg.priority) {
+                // Lost the main round with a priority message: claim
+                // the priority-arbitration cycle by driving high.
+                priorityDriven_ = true;
+                fwdData_ = false;
+                dataOut_.drive(true);
+            } else {
+                fwdData_ = true;
+                dataOut_.drive(dataIn_.value()); // Release the request.
+            }
         }
         return;
     }
     if (falling_ == 3) {
-        if (wonArb_) {
+        if (wonArb_ || wonPriority_) {
             fwdData_ = false;
             dataOut_.drive(true); // Reserved cycle: park high.
+        } else if (backedOff_ || priorityDriven_) {
+            // Cede to the winner: release the held request (the seed
+            // model left a backed-off requester driving DATA low
+            // forever, wedging the bus).
+            fwdData_ = true;
+            dataOut_.drive(dataIn_.value());
         }
         return;
     }
     if (falling_ >= 4 && role_ == Role::Tx) {
         std::uint32_t idx = falling_ - 4;
-        if (idx < txTotal_)
+        if (idx < txTotal_) {
             dataOut_.drive(txBits_[idx] != 0);
+            ++txBitsDriven_;
+        }
     }
 }
 
@@ -362,24 +472,57 @@ BitbangMbus::dataIsrBody(bool level)
     if (fwdData_)
         dataOut_.drive(level);
 
-    // Software interjection detector.
-    if (phase_ == Phase::Idle)
+    // Software interjection detector. libmbus counts DIN edges only
+    // while CLK is high (the mediator toggles DATA under a clock it
+    // parked high); DATA edges seen while CLK is low are ordinary bus
+    // activity -- arbitration releases, payload bits -- and must not
+    // feed the counter (the seed model counted them all, relying on
+    // the per-CLK-edge reset alone).
+    if (!lastClkIn_)
         return;
-    if (++intjCount_ >= 3 && phase_ != Phase::Control) {
-        // Switch role (Fig 7): release every hold -- the transmitter
-        // too, so the mediator's toggles propagate the whole ring.
-        phase_ = Phase::Control;
-        ctlRising_ = rising_;
-        ctlFalling_ = falling_;
-        ctlBit0_ = false;
-        fwdClk_ = true;
-        clkOut_.drive(clkIn_.value());
-        fwdData_ = true;
-        dataOut_.drive(dataIn_.value());
-        // Byte alignment: drop any partial byte.
-        rxBitBuffer_ = 0;
-        rxBitsPending_ = 0;
+    if (++intjCount_ < 3 || phase_ == Phase::Control)
+        return;
+
+    // Switch role (Fig 7): release every hold -- the transmitter
+    // too, so the mediator's toggles propagate the whole ring.
+    if (requested_) {
+        // A request that never reached arbitration is squashed; the
+        // message stays queued and is re-issued from the next idle
+        // (the seed model left requested_ set forever, blocking every
+        // later tryRequest()).
+        requested_ = false;
     }
+    if (phase_ == Phase::Idle) {
+        // No transaction was live (mediator-originated interjection,
+        // e.g. a fault broadcast): enter the control sequence with
+        // fresh state instead of misreading its CLK pulses as a new
+        // transaction -- the seed model did the latter and stayed
+        // misaligned until the next mid-message interjection.
+        role_ = Role::None;
+        rxBytes_.clear();
+        addressResolved_ = false;
+        addrAccum_ = 0;
+        addrBitsSeen_ = 0;
+        addrBitsExpected_ = 8;
+        iAmInterjector_ = false;
+        interjectorEom_ = false;
+        rxOverflowed_ = false;
+        txError_ = bus::LocalError::None;
+    }
+    phase_ = Phase::Control;
+    ctlRising_ = rising_;
+    ctlFalling_ = falling_;
+    ctlBit0_ = false;
+    // Resume forwarding with the levels the ISR read at entry (the
+    // firmware's last_clkin / the latched DIN edge), not a live net
+    // read -- a later edge may already be in flight.
+    fwdClk_ = true;
+    clkOut_.drive(lastClkIn_);
+    fwdData_ = true;
+    dataOut_.drive(level);
+    // Byte alignment: drop any partial byte.
+    rxBitBuffer_ = 0;
+    rxBitsPending_ = 0;
 }
 
 void
@@ -388,6 +531,13 @@ BitbangMbus::beginIdle()
     phase_ = Phase::Idle;
     role_ = Role::None;
     iAmInterjector_ = false;
+    interjectorEom_ = false;
+    rxOverflowed_ = false;
+    txError_ = bus::LocalError::None;
+    wonArb_ = false;
+    wonPriority_ = false;
+    backedOff_ = false;
+    priorityDriven_ = false;
     rising_ = falling_ = 0;
     fwdClk_ = true;
     fwdData_ = true;
@@ -408,6 +558,7 @@ BitbangMbus::tryRequest()
     if (txQueue_.empty() || requested_ || phase_ != Phase::Idle)
         return;
     requested_ = true;
+    ++txQueue_.front().attempts;
     fwdData_ = false;
     dataOut_.drive(false); // Request the bus.
 }

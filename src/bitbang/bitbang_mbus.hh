@@ -56,6 +56,14 @@ class BitbangMbus : private wire::EdgeListener
         Msp430CostModel cost;
 
         /**
+         * Receive buffer capacity in bytes, mirroring the firmware's
+         * statically allocated recv buffer. A message that would
+         * overflow it is cut short with an interjection and delivered
+         * flagged MBUS_RECV_OVERFLOW (LocalError::RecvOverflow).
+         */
+        std::size_t rxCapacityBytes = 256;
+
+        /**
          * Maximum edges per coalesced CLK ISR-retirement train
          * (0 disables coalescing; every retirement is a discrete
          * kernel event). The CLK ISR body costs the same cycle count
@@ -128,6 +136,11 @@ class BitbangMbus : private wire::EdgeListener
     void beginIdle();
     void tryRequest();
 
+    /** Stop forwarding CLK and wait for the mediator to start the
+     *  control sequence. @p eom true for a clean end-of-message,
+     *  false when cutting the message short (error interjection). */
+    void requestInterjection(bool eom);
+
     /** Pooled retirement sinks: ISR completions ride the kernel's
      *  allocation-free edge path (and, for CLK, its train path)
      *  instead of one heap-allocated closure per ISR. */
@@ -177,11 +190,17 @@ class BitbangMbus : private wire::EdgeListener
     Role role_ = Role::None;
     bool requested_ = false;
     bool wonArb_ = false;
+    bool wonPriority_ = false;    ///< Claimed the priority cycle.
+    bool backedOff_ = false;      ///< Ceded main arb to a priority req.
+    bool priorityDriven_ = false; ///< Drove high in the priority cycle.
     std::uint32_t rising_ = 0;
     std::uint32_t falling_ = 0;
+    bool lastClkIn_ = true; ///< Last CLK level seen (bus idles high).
 
     std::vector<std::uint8_t> txBits_;
     std::uint32_t txTotal_ = 0;
+    std::uint32_t txBitsDriven_ = 0; ///< Wire bits actually driven.
+    bus::LocalError txError_ = bus::LocalError::None;
 
     std::uint64_t addrAccum_ = 0;
     int addrBitsSeen_ = 0;
@@ -194,6 +213,8 @@ class BitbangMbus : private wire::EdgeListener
 
     int intjCount_ = 0;
     bool iAmInterjector_ = false;
+    bool interjectorEom_ = false; ///< This interjection ends cleanly.
+    bool rxOverflowed_ = false;   ///< RX cut by buffer exhaustion.
     std::uint32_t ctlRising_ = 0;
     std::uint32_t ctlFalling_ = 0;
     bool ctlBit0_ = false;
@@ -202,6 +223,7 @@ class BitbangMbus : private wire::EdgeListener
     {
         bus::Message msg;
         bus::SendCallback cb;
+        std::size_t attempts = 0; ///< Bus requests issued for this msg.
     };
     std::deque<PendingTx> txQueue_;
 

@@ -1,0 +1,325 @@
+#include "firmware/firmware_node.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mbus {
+namespace firmware {
+
+FirmwareNode::FirmwareNode(sim::Simulator &sim, Config cfg,
+                           wire::Net &clkIn, wire::Net &clkOut,
+                           wire::Net &dataIn, wire::Net &dataOut)
+    : sim_(sim), cfg_(cfg), clkInNet_(clkIn), dataInNet_(dataIn),
+      clkIn_(sim, clkIn, wire::Gpio::Direction::Input),
+      clkOut_(sim, clkOut, wire::Gpio::Direction::Output),
+      dataIn_(sim, dataIn, wire::Gpio::Direction::Input),
+      dataOut_(sim, dataOut, wire::Gpio::Direction::Output),
+      jitterState_(cfg.jitterSeed ? cfg.jitterSeed : 1)
+{
+    clkRetire_.self = this;
+    dataRetire_.self = this;
+
+    MBus_t port;
+    port.short_prefix = cfg_.shortPrefix;
+    port.full_prefix = cfg_.fullPrefix;
+    port.recv_capacity = cfg_.rxCapacityBytes;
+    port.set_gpio_val = [this](int gpio, std::uint8_t v) {
+        writeGpio(gpio, v);
+    };
+    port.get_gpio_val = [this](int gpio) { return readGpio(gpio); };
+    port.MBus_send_done = [this](std::size_t bytes, MBus_error_t err,
+                                 bool acked) {
+        onSendDone(bytes, err, acked);
+    };
+    port.MBus_recv = [this](std::uint32_t addr, int addrBits,
+                            const std::uint8_t *buf, std::size_t len,
+                            MBus_error_t err, bool eom) {
+        onRecv(addr, addrBits, buf, len, err, eom);
+    };
+    fsm_ = std::make_unique<LibMbus>(std::move(port));
+    fsm_->MBus_init();
+
+    clkInNet_.listen(wire::Edge::Any, *this);
+    dataInNet_.listen(wire::Edge::Any, *this);
+}
+
+FirmwareNode::~FirmwareNode() = default;
+
+void
+FirmwareNode::onNetEdge(wire::Net &net, bool value)
+{
+    onEdge(&net == &clkInNet_ ? Pin::Clk : Pin::Data, value);
+}
+
+void
+FirmwareNode::onEdge(Pin pin, bool level)
+{
+    std::uint32_t &pending =
+        pin == Pin::Clk ? clkIsrPending_ : dataIsrPending_;
+    if (cfg_.mergeMissedEdges && pending > 0) {
+        // The interrupt flag is already set: the pending handler will
+        // read the (newer) pin level when it finally runs.
+        ++stats_.mergedEdges;
+        return;
+    }
+
+    // Same cycle formulas as bitbang::BitbangMbus, so retirement
+    // latency, CPU serialization, and energy line up bit for bit.
+    const auto &cost = cfg_.cost;
+    int total;
+    if (pin == Pin::Clk) {
+        const int body = cost.gpioReadCycles + cost.dispatchCycles +
+                         cost.stateUpdateCycles + cost.gpioWriteCycles +
+                         2 * cost.gpioReadCycles +
+                         2 * cost.gpioWriteCycles + 1;
+        total = cost.isrEntryCycles + body + cost.isrExitCycles;
+    } else {
+        const int body = cost.gpioReadCycles + cost.dispatchCycles +
+                         cost.stateUpdateCycles;
+        total = cost.isrEntryCycles + body + cost.isrExitCycles;
+    }
+    total += static_cast<int>(jitterDraw());
+    maxPathCycles_ = std::max(maxPathCycles_, total);
+
+    sim::SimTime start = sim_.now();
+    if (cpuBusyUntil_ > start) {
+        ++stats_.serializationStalls;
+        start = cpuBusyUntil_;
+    }
+    sim::SimTime done = start + cfg_.cost.cyclesToTime(total);
+    cpuBusyUntil_ = done;
+    ++stats_.isrInvocations;
+    stats_.cyclesSpent += static_cast<std::uint64_t>(total);
+
+    ++pending;
+    sim_.scheduleEdge(done - sim_.now(),
+                      pin == Pin::Clk
+                          ? static_cast<sim::EdgeSink &>(clkRetire_)
+                          : static_cast<sim::EdgeSink &>(dataRetire_),
+                      level);
+}
+
+void
+FirmwareNode::runIsr(Pin pin, bool level)
+{
+    if (pin == Pin::Clk) {
+        if (clkIsrPending_ > 0)
+            --clkIsrPending_;
+        inClkIsr_ = true;
+        latchedClk_ = level;
+        fsm_->MBus_CLKIN_int_handler();
+        inClkIsr_ = false;
+    } else {
+        if (dataIsrPending_ > 0)
+            --dataIsrPending_;
+        inDataIsr_ = true;
+        latchedData_ = level;
+        fsm_->MBus_DIN_int_handler();
+        inDataIsr_ = false;
+    }
+    afterIsr();
+}
+
+std::uint8_t
+FirmwareNode::readGpio(int gpio)
+{
+    // Replay mode latches the handler's own pin at its edge; every
+    // other read is live (the instruction runs at retirement time).
+    if (gpio == 0) { // CLKIN
+        if (!cfg_.mergeMissedEdges && inClkIsr_)
+            return latchedClk_ ? 1 : 0;
+        return clkIn_.read() ? 1 : 0;
+    }
+    if (gpio == 2) { // DIN
+        if (!cfg_.mergeMissedEdges && inDataIsr_)
+            return latchedData_ ? 1 : 0;
+        return dataIn_.read() ? 1 : 0;
+    }
+    mbus_fatal("firmware read of non-input gpio ", gpio);
+    return 0;
+}
+
+void
+FirmwareNode::writeGpio(int gpio, std::uint8_t val)
+{
+    if (gpio == 1)
+        clkOut_.write(val != 0);
+    else if (gpio == 3)
+        dataOut_.write(val != 0);
+    else
+        mbus_fatal("firmware write of non-output gpio ", gpio);
+}
+
+void
+FirmwareNode::afterIsr()
+{
+    // MBus_run() executes off the event kernel at the ISR's virtual
+    // timestamp -- the same +0 slot the behavioral model uses for its
+    // completion callbacks.
+    if (fsm_->eventsPending() && !runScheduled_) {
+        runScheduled_ = true;
+        sim_.schedule(0, [this] { drainRun(); });
+    }
+    // Back to IDLE with messages waiting (a finished transaction, a
+    // lost arbitration, or a squashed request): re-issue after the
+    // same 4x-response-latency guard the model's beginIdle waits.
+    if (!txQueue_.empty() && fsm_->state() == MBUS_STATE_IDLE &&
+        !fsm_->requesting() && !retryScheduled_) {
+        retryScheduled_ = true;
+        sim_.schedule(4 * cfg_.cost.responseLatency(), [this] {
+            retryScheduled_ = false;
+            pumpSend();
+        });
+    }
+}
+
+void
+FirmwareNode::drainRun()
+{
+    runScheduled_ = false;
+    while (fsm_->MBus_run())
+        ++stats_.runWakeups;
+}
+
+void
+FirmwareNode::send(bus::Message msg, bus::SendCallback cb)
+{
+    PendingTx tx;
+    tx.msg = std::move(msg);
+    tx.cb = std::move(cb);
+    // libmbus contract: the send buffer starts with the address
+    // byte(s), then the payload.
+    std::uint32_t enc = tx.msg.dest.encoded();
+    int addrBytes = tx.msg.dest.bitCount() / 8;
+    for (int i = addrBytes - 1; i >= 0; --i)
+        tx.wire.push_back(
+            static_cast<std::uint8_t>((enc >> (8 * i)) & 0xFF));
+    tx.wire.insert(tx.wire.end(), tx.msg.payload.begin(),
+                   tx.msg.payload.end());
+    txQueue_.push_back(std::move(tx));
+    pumpSend();
+}
+
+void
+FirmwareNode::pumpSend()
+{
+    if (txQueue_.empty())
+        return;
+    if (fsm_->state() != MBUS_STATE_IDLE || fsm_->requesting())
+        return;
+    PendingTx &front = txQueue_.front();
+    ++front.attempts;
+    ++stats_.requestsIssued;
+    fsm_->MBus_send(front.wire.data(), front.wire.size(),
+                    front.msg.priority);
+}
+
+void
+FirmwareNode::onSendDone(std::size_t bytesSent, MBus_error_t err,
+                         bool acked)
+{
+    (void)acked;
+    if (txQueue_.empty())
+        return; // FSM driven directly by a test, not through send().
+    PendingTx tx = std::move(txQueue_.front());
+    txQueue_.pop_front();
+    ++stats_.messagesSent;
+    if (err != MBUS_NO_ERROR)
+        ++stats_.localErrors;
+
+    if (tx.cb) {
+        bus::TxResult result;
+        bool broadcast = tx.msg.dest.isBroadcast();
+        bool cb0 = fsm_->ctlBit0();
+        bool cb1 = fsm_->ctlBit1();
+        switch (err) {
+          case MBUS_DATA_SYNCH_ERROR:
+            result.status = bus::TxStatus::GeneralError;
+            result.error = bus::LocalError::DataSynch;
+            break;
+          case MBUS_CLOCK_SYNCH_ERROR:
+            result.status = bus::TxStatus::GeneralError;
+            result.error = bus::LocalError::ClockSynch;
+            break;
+          case MBUS_INTERRUPTED:
+            result.status = bus::TxStatus::Interrupted;
+            result.error = bus::LocalError::Interrupted;
+            break;
+          default:
+            if (cb0) {
+                result.status = broadcast
+                                    ? bus::TxStatus::Broadcast
+                                    : (cb1 ? bus::TxStatus::Nak
+                                           : bus::TxStatus::Ack);
+            } else {
+                // {0,0}: mediator-signalled general error.
+                result.status = bus::TxStatus::GeneralError;
+            }
+            break;
+        }
+        if (result.status == bus::TxStatus::Ack ||
+            result.status == bus::TxStatus::Nak ||
+            result.status == bus::TxStatus::Broadcast) {
+            result.bytesSent = tx.msg.payload.size();
+        } else {
+            // The firmware reports complete buffer bytes driven;
+            // strip the address byte(s) to get payload bytes.
+            std::size_t addrBytes =
+                static_cast<std::size_t>(tx.msg.dest.bitCount() / 8);
+            result.bytesSent =
+                bytesSent > addrBytes ? bytesSent - addrBytes : 0;
+        }
+        result.arbitrationRetries =
+            tx.attempts > 0 ? tx.attempts - 1 : 0;
+        result.completedAt = sim_.now();
+        tx.cb(result);
+    }
+}
+
+void
+FirmwareNode::onRecv(std::uint32_t addr, int addrBits,
+                     const std::uint8_t *buf, std::size_t len,
+                     MBus_error_t err, bool eom)
+{
+    if (err != MBUS_NO_ERROR)
+        ++stats_.localErrors;
+    if (!rxCb_)
+        return;
+    ++stats_.messagesReceived;
+    bus::ReceivedMessage rx;
+    rx.dest = addrBits == 8
+                  ? bus::Address::decodeShort(
+                        static_cast<std::uint8_t>(addr & 0xFF))
+                  : bus::Address::decodeFull(addr);
+    rx.payload.assign(buf, buf + len);
+    rx.interjected = !eom;
+    switch (err) {
+      case MBUS_RECV_OVERFLOW:
+        rx.error = bus::LocalError::RecvOverflow;
+        break;
+      case MBUS_INTERRUPTED:
+        rx.error = bus::LocalError::Interrupted;
+        break;
+      default:
+        rx.error = bus::LocalError::None;
+        break;
+    }
+    rx.receivedAt = sim_.now();
+    rxCb_(rx);
+}
+
+std::uint32_t
+FirmwareNode::jitterDraw()
+{
+    if (cfg_.isrJitterCycles == 0)
+        return 0;
+    jitterState_ ^= jitterState_ << 13;
+    jitterState_ ^= jitterState_ >> 7;
+    jitterState_ ^= jitterState_ << 17;
+    return static_cast<std::uint32_t>(
+        jitterState_ % (cfg_.isrJitterCycles + 1));
+}
+
+} // namespace firmware
+} // namespace mbus

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Firmware-in-the-loop software MBus member (Sec 6.6).
+ *
+ * Runs the ported libmbus FSM (firmware::LibMbus) as a simulated
+ * node: a GPIO shim maps the firmware's `set_gpio_val` /
+ * `get_gpio_val` register accesses onto wire::Gpio pins, every
+ * CLKIN/DIN edge becomes an ISR invocation priced through the same
+ * MSP430 cost model the behavioral BitbangMbus uses (fixed entry
+ * cycles plus optional seeded jitter, serialized on one CPU), and
+ * `MBus_run()` executes in virtual time off the event kernel.
+ *
+ * Shim contract (what makes the firmware and the behavioral model
+ * cycle-comparable):
+ *
+ *  - Edge replay: each input edge is queued as its own ISR with the
+ *    level the pin had at that edge; the handler's reads of *its own*
+ *    pin return that latched level. Reads of the *other* pin are live
+ *    (the instruction executes at retirement time) -- exactly the
+ *    discipline BitbangMbus models. With `mergeMissedEdges` set, an
+ *    edge arriving while that pin's ISR is still pending is absorbed
+ *    instead (the real MCU's interrupt flag is already set), and all
+ *    reads are live: that is the regime where the firmware's
+ *    MBUS_CLOCK_SYNCH_ERROR path becomes reachable.
+ *  - Edge capture listens at net level (like BitbangMbus), not
+ *    through Gpio::attachInterrupt, whose trampoline would add one
+ *    kernel event and shift same-timestamp event ordering; the Gpio
+ *    objects carry all pin reads and writes.
+ *  - The ISR retirement write lands at
+ *    max(now, cpuBusyUntil) + cycles(handler), with the same per-pin
+ *    cycle formulas as BitbangMbus, so CPU serialization stalls,
+ *    energy (cyclesSpent x 20 pJ), and response latency match the
+ *    behavioral model bit for bit when jitter is zero.
+ *  - `MBus_send` while the FSM is busy is undefined in the firmware
+ *    (it stomps the in-flight buffer); this harness queues messages
+ *    and only hands the front one to the FSM from IDLE, re-issuing
+ *    after the same 4x-response-latency idle guard the model waits.
+ */
+
+#ifndef MBUS_FIRMWARE_FIRMWARE_NODE_HH
+#define MBUS_FIRMWARE_FIRMWARE_NODE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "bitbang/cost_model.hh"
+#include "firmware/libmbus_port.hh"
+#include "mbus/message.hh"
+#include "sim/simulator.hh"
+#include "wire/gpio.hh"
+#include "wire/net.hh"
+
+namespace mbus {
+namespace firmware {
+
+/** Statistics; the first five fields mirror bitbang::BitbangStats. */
+struct FirmwareStats
+{
+    std::uint64_t isrInvocations = 0;
+    std::uint64_t cyclesSpent = 0;
+    std::uint64_t messagesSent = 0;
+    std::uint64_t messagesReceived = 0;
+    std::uint64_t serializationStalls = 0; ///< ISRs that waited for CPU.
+
+    std::uint64_t runWakeups = 0;     ///< MBus_run() dispatches.
+    std::uint64_t mergedEdges = 0;    ///< Edges absorbed while pending.
+    std::uint64_t requestsIssued = 0; ///< MBus_send requests driven.
+    std::uint64_t localErrors = 0;    ///< Non-NO_ERROR completions.
+};
+
+/** A software MBus member running the real (ported) libmbus FSM. */
+class FirmwareNode : private wire::EdgeListener
+{
+  public:
+    struct Config
+    {
+        std::uint8_t shortPrefix = 0; ///< Static short prefix.
+        std::uint32_t fullPrefix = 0; ///< 20-bit full prefix (0=none).
+        bitbang::Msp430CostModel cost;
+        std::size_t rxCapacityBytes = 256;
+
+        /** Max extra ISR-entry cycles drawn per invocation (seeded
+         *  xorshift; 0 keeps the node bit-identical to the model). */
+        std::uint32_t isrJitterCycles = 0;
+        std::uint64_t jitterSeed = 0x6669726d77617265ULL;
+
+        /** Absorb edges that arrive while that pin's ISR is pending
+         *  (instead of replaying every edge). Makes the firmware's
+         *  clock-synch error reachable; used by the ceiling sweep. */
+        bool mergeMissedEdges = false;
+    };
+
+    FirmwareNode(sim::Simulator &sim, Config cfg, wire::Net &clkIn,
+                 wire::Net &clkOut, wire::Net &dataIn,
+                 wire::Net &dataOut);
+    ~FirmwareNode();
+
+    /** Queue a message (never stomps an in-flight MBus_send). */
+    void send(bus::Message msg, bus::SendCallback cb = nullptr);
+
+    void
+    setReceiveCallback(bus::ReceiveCallback cb)
+    {
+        rxCb_ = std::move(cb);
+    }
+
+    const FirmwareStats &stats() const { return stats_; }
+
+    /** Worst ISR path actually exercised, in cycles. */
+    int maxObservedPathCycles() const { return maxPathCycles_; }
+
+    /** Messages queued but not yet terminally resolved. */
+    std::size_t pendingTx() const { return txQueue_.size(); }
+
+    /** True when the FSM is IDLE and nothing is queued. */
+    bool
+    idle() const
+    {
+        return fsm_->state() == MBUS_STATE_IDLE && txQueue_.empty() &&
+               !fsm_->eventsPending();
+    }
+
+    /** The ported FSM, for tests and introspection. */
+    const LibMbus &fsm() const { return *fsm_; }
+
+  private:
+    enum class Pin : std::uint8_t { Clk, Data };
+
+    void onNetEdge(wire::Net &net, bool value) override;
+    void onEdge(Pin pin, bool level);
+    void runIsr(Pin pin, bool level);
+    void afterIsr();
+    void drainRun();
+    void pumpSend();
+
+    std::uint8_t readGpio(int gpio);
+    void writeGpio(int gpio, std::uint8_t val);
+    void onSendDone(std::size_t bytesSent, MBus_error_t err,
+                    bool acked);
+    void onRecv(std::uint32_t addr, int addrBits,
+                const std::uint8_t *buf, std::size_t len,
+                MBus_error_t err, bool eom);
+    std::uint32_t jitterDraw();
+
+    /** Pooled retirement sinks (same kernel path as BitbangMbus). */
+    struct ClkRetireSink final : sim::EdgeSink
+    {
+        FirmwareNode *self = nullptr;
+        void onEdge(bool v) override { self->runIsr(Pin::Clk, v); }
+    };
+    struct DataRetireSink final : sim::EdgeSink
+    {
+        FirmwareNode *self = nullptr;
+        void onEdge(bool v) override { self->runIsr(Pin::Data, v); }
+    };
+
+    sim::Simulator &sim_;
+    Config cfg_;
+    wire::Net &clkInNet_;
+    wire::Net &dataInNet_;
+    wire::Gpio clkIn_;
+    wire::Gpio clkOut_;
+    wire::Gpio dataIn_;
+    wire::Gpio dataOut_;
+
+    ClkRetireSink clkRetire_;
+    DataRetireSink dataRetire_;
+
+    std::unique_ptr<LibMbus> fsm_;
+
+    // CPU serialization (one core runs both handlers).
+    sim::SimTime cpuBusyUntil_ = 0;
+    std::uint32_t clkIsrPending_ = 0;  ///< Scheduled, not yet retired.
+    std::uint32_t dataIsrPending_ = 0;
+
+    // Latched-level replay view while a handler runs.
+    bool inClkIsr_ = false;
+    bool inDataIsr_ = false;
+    bool latchedClk_ = true;
+    bool latchedData_ = true;
+
+    struct PendingTx
+    {
+        bus::Message msg;
+        bus::SendCallback cb;
+        std::vector<std::uint8_t> wire; ///< Address byte(s) + payload.
+        std::size_t attempts = 0;
+    };
+    std::deque<PendingTx> txQueue_;
+    bool runScheduled_ = false;
+    bool retryScheduled_ = false;
+
+    bus::ReceiveCallback rxCb_;
+    FirmwareStats stats_;
+    int maxPathCycles_ = 0;
+    std::uint64_t jitterState_ = 0;
+};
+
+} // namespace firmware
+} // namespace mbus
+
+#endif // MBUS_FIRMWARE_FIRMWARE_NODE_HH

@@ -36,6 +36,15 @@ InterjectionDetector::onDataEdge()
             asserted_ = false;
         }
     }
+    // Count only while CLK sits high (the libmbus discipline): a
+    // genuine interjection is the mediator toggling DATA under a
+    // parked-high clock. DATA ripples that follow a falling CLK edge
+    // -- payload bit drives, control-chain handoffs, arbitration
+    // releases -- are ordinary bus activity; letting them accumulate
+    // can re-assert the detector mid-control-chain, re-basing the
+    // controller's control counters and wedging it in Control.
+    if (!clkNet_->value())
+        return;
     if (count_ < kThreshold)
         ++count_;
     if (count_ >= kThreshold && !asserted_) {

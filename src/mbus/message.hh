@@ -46,12 +46,43 @@ struct Message
     }
 };
 
+/**
+ * Node-local error surface, mirroring libmbus's MBus_error_t 1:1.
+ *
+ * TxStatus carries the wire-level outcome (the control-bit code
+ * points every member sees); LocalError carries what the node itself
+ * detected, so truncation, overflow, and synchronization loss stay
+ * distinguishable at the delivery boundary.
+ */
+enum class LocalError : std::uint8_t
+{
+    None = 0,
+    ClockSynch,   ///< MBUS_CLOCK_SYNCH_ERROR: missed/merged CLK edge.
+    DataSynch,    ///< MBUS_DATA_SYNCH_ERROR: TX bit echo mismatch.
+    RecvOverflow, ///< MBUS_RECV_OVERFLOW: receive buffer exhausted.
+    Interrupted,  ///< MBUS_INTERRUPTED: cut short by a third party.
+};
+
+inline const char *
+localErrorName(LocalError e)
+{
+    switch (e) {
+      case LocalError::None: return "none";
+      case LocalError::ClockSynch: return "clock_synch";
+      case LocalError::DataSynch: return "data_synch";
+      case LocalError::RecvOverflow: return "recv_overflow";
+      case LocalError::Interrupted: return "interrupted";
+    }
+    return "?";
+}
+
 /** Completion record handed to the sender's callback. */
 struct TxResult
 {
     TxStatus status = TxStatus::GeneralError;
     std::size_t bytesSent = 0;        ///< Payload bytes fully sent.
     std::size_t arbitrationRetries = 0;
+    LocalError error = LocalError::None; ///< Sender-local error code.
     sim::SimTime completedAt = 0;
 };
 
@@ -64,6 +95,7 @@ struct ReceivedMessage
     Address dest;                      ///< Address it matched on.
     std::vector<std::uint8_t> payload; ///< Complete bytes received.
     bool interjected = false; ///< True if the message ended abnormally.
+    LocalError error = LocalError::None; ///< Receiver-local error code.
     sim::SimTime receivedAt = 0;
 };
 

@@ -174,6 +174,7 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
     params.powerGated = spec.powerGated;
     params.edgeTrains = spec.edgeTrains;
     params.chunkedDispatch = spec.chunkedDispatch;
+    params.softRxCapacity = spec.softRxCapacity;
 
     std::unique_ptr<backend::BusBackend> backend =
         backend::makeBackend(spec.backend, simulator, params);

@@ -61,6 +61,8 @@ struct ScenarioSpec
     bool captureVcd = false; ///< Retain the full VCD byte stream.
     bool edgeTrains = true;  ///< Batched edge delivery (A/B studies).
     bool chunkedDispatch = true; ///< Batched listener dispatch (A/B).
+    std::size_t softRxCapacity = 256; ///< Software member's receive
+                                      ///< buffer (bitbang/firmware).
 
     /**
      * The bus fabric this cell runs on (a sweep grid axis): the

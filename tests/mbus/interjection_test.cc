@@ -201,7 +201,10 @@ TEST(Interjection, ForcedClkStuckRecoversViaInterjection)
 
 TEST(Interjection, DetectorNeedsThreeQuietEdges)
 {
-    // Unit-level behaviour of the saturating counter (Sec 4.9).
+    // Unit-level behaviour of the saturating counter (Sec 4.9). A
+    // genuine interjection is the mediator toggling DATA while CLK
+    // parks high, so the detector counts DATA edges only in that
+    // regime -- the same discipline the libmbus firmware applies.
     sim::Simulator s;
     wire::Net clk(s, "clk", 0, true);
     wire::Net data(s, "data", 0, true);
@@ -216,7 +219,19 @@ TEST(Interjection, DetectorNeedsThreeQuietEdges)
     s.run();
     EXPECT_EQ(fired, 0); // Two edges: legal bus activity.
 
-    clk.drive(false); // CLK edge resets the counter.
+    clk.drive(false); // CLK edge resets the counter...
+    s.run();
+    data.drive(false); // ...and while CLK sits low, DATA edges are
+    s.run();           // ordinary bus activity: never counted, no
+    data.drive(true);  // matter how many accumulate.
+    s.run();
+    data.drive(false);
+    s.run();
+    data.drive(true);
+    s.run();
+    EXPECT_EQ(fired, 0);
+
+    clk.drive(true); // CLK parks high (edge resets the counter).
     s.run();
     data.drive(false);
     s.run();
