@@ -156,6 +156,64 @@ class BusBackend
                                         bool fullAddressing,
                                         std::uint8_t fuId) const = 0;
 
+    // --- Fault injection ---------------------------------------------
+    //
+    // Primitive perturbations the fault engine (src/fault/) drives.
+    // Defaults are no-ops so fabrics opt in per primitive; wire-level
+    // ops map to transaction-level damage on fabrics without Nets
+    // (I2C). Nothing here runs unless a FaultSpec armed it, which is
+    // what keeps the no-fault goldens byte-identical.
+
+    /** Hold node @p node's output segment on @p lane (0 = CLK,
+     *  1 = DATA, 2+ = extra lanes) at @p level. Nestable. */
+    virtual void injectWireForce(std::size_t node, int lane,
+                                 bool level)
+    {
+        (void)node, (void)lane, (void)level;
+    }
+
+    /** Undo one injectWireForce on (node, lane). */
+    virtual void injectWireRelease(std::size_t node, int lane)
+    {
+        (void)node, (void)lane;
+    }
+
+    /** @p pulses sub-hop-delay pulses on (node, lane). */
+    virtual void injectGlitch(std::size_t node, int lane, int pulses)
+    {
+        (void)node, (void)lane, (void)pulses;
+    }
+
+    /** Swallow the next @p pulses whole pulses on (node, lane). */
+    virtual void injectEdgeDrop(std::size_t node, int lane,
+                                int pulses)
+    {
+        (void)node, (void)lane, (void)pulses;
+    }
+
+    /** Multiplicative drift on the fabric clock; exactly 1.0
+     *  restores the nominal tick bit-exactly. */
+    virtual void setClockDriftFactor(double factor) { (void)factor; }
+
+    /** Cut @p node's gateable power domains mid-transaction:
+     *  in-flight TX state is lost and queued sends terminate with
+     *  TxStatus::Reset. */
+    virtual void brownout(std::size_t node) { (void)node; }
+
+    /** Restore a browned-out node. */
+    virtual void brownoutRecover(std::size_t node) { (void)node; }
+
+    /**
+     * Arm the fabric watchdog: if the bus is busy but makes no CLK
+     * progress for @p epochs bus epochs, force-reset it through the
+     * fabric's control path (MBus: a mediator rescue interjection +
+     * general error). Re-arms itself until the run ends.
+     */
+    virtual void armWatchdog(std::uint32_t epochs) { (void)epochs; }
+
+    /** Watchdog force-resets issued so far. */
+    virtual std::uint64_t busResets() const { return 0; }
+
     // --- Delivery tap -------------------------------------------------
 
     /** Install (or clear, with nullptr) the unified delivery tap. */

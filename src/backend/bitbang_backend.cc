@@ -405,5 +405,160 @@ BitbangBackend::dispatchCalls() const
     return total;
 }
 
+// --- Fault injection -------------------------------------------------
+
+wire::Net &
+BitbangBackend::faultSegment(std::size_t node, int lane)
+{
+    // The mixed ring is single-lane: lane 0 is CLK, anything else
+    // maps to DATA.
+    return lane <= 0 ? *clkSegs_[node] : *dataSegs_[node];
+}
+
+int &
+BitbangBackend::forceDepth(std::size_t node, int lane)
+{
+    if (forceDepth_.empty())
+        forceDepth_.assign(nodes_ * 2, 0);
+    return forceDepth_[node * 2 + (lane <= 0 ? 0u : 1u)];
+}
+
+void
+BitbangBackend::injectWireForce(std::size_t node, int lane,
+                                bool level)
+{
+    if (node >= nodes_)
+        return;
+    ++forceDepth(node, lane);
+    faultSegment(node, lane).force(level);
+}
+
+void
+BitbangBackend::injectWireRelease(std::size_t node, int lane)
+{
+    if (node >= nodes_)
+        return;
+    int &depth = forceDepth(node, lane);
+    if (depth == 0)
+        return;
+    if (--depth == 0)
+        faultSegment(node, lane).release();
+}
+
+void
+BitbangBackend::injectGlitch(std::size_t node, int lane, int pulses)
+{
+    if (node >= nodes_ || pulses <= 0)
+        return;
+    sim::SimTime width = cfg_.hopDelay / 2;
+    if (width == 0)
+        width = 1;
+    for (int i = 0; i < pulses; ++i) {
+        sim_.schedule(2 * width * static_cast<sim::SimTime>(i),
+                      [this, node, lane] {
+                          if (forceDepth(node, lane) > 0)
+                              return;
+                          wire::Net &seg = faultSegment(node, lane);
+                          seg.force(!seg.value());
+                      });
+        sim_.schedule(2 * width * static_cast<sim::SimTime>(i) +
+                          width,
+                      [this, node, lane] {
+                          if (forceDepth(node, lane) > 0)
+                              return;
+                          faultSegment(node, lane).release();
+                      });
+    }
+}
+
+void
+BitbangBackend::injectEdgeDrop(std::size_t node, int lane, int pulses)
+{
+    if (node >= nodes_ || pulses <= 0)
+        return;
+    faultSegment(node, lane)
+        .dropEdges(static_cast<std::uint32_t>(pulses));
+}
+
+void
+BitbangBackend::setClockDriftFactor(double factor)
+{
+    cfg_.clockDriftFactor = factor > 0 ? factor : 1.0;
+}
+
+void
+BitbangBackend::brownout(std::size_t node)
+{
+    // Neither the mediator host nor the software member (whose MCU
+    // is the always-on engine of the mixed ring) is a fault target.
+    if (node == 0 || node >= nodes_ || isSoft(node))
+        return;
+    bus::Node &n = *hw_[node];
+    n.busController().powerFail();
+    n.clkWireController().forward();
+    n.dataWireController().forward();
+    if (n.config().powerGated)
+        n.sleep();
+}
+
+void
+BitbangBackend::brownoutRecover(std::size_t node)
+{
+    if (node == 0 || node >= nodes_ || isSoft(node))
+        return;
+    bus::Node &n = *hw_[node];
+    if (n.config().powerGated && !n.awake())
+        n.wake();
+}
+
+void
+BitbangBackend::armWatchdog(std::uint32_t epochs)
+{
+    if (epochs == 0 || watchdogEpochs_ != 0)
+        return;
+    watchdogEpochs_ = epochs;
+    scheduleWatchdogPoll();
+}
+
+void
+BitbangBackend::scheduleWatchdogPoll()
+{
+    sim::SimTime interval =
+        watchdogEpochs_ * sim::periodFromHz(cfg_.busClockHz);
+    sim_.schedule(interval, [this] { watchdogPoll(); });
+}
+
+void
+BitbangBackend::watchdogPoll()
+{
+    flushSegs();
+    std::uint64_t progress = clkSegs_[nodes_ - 1]->edgeEpoch();
+    // "Busy" must cover every state runUntilIdle() waits out. In
+    // particular the software member can be stranded mid-receive with
+    // an empty queue when a fault swallowed the edges it was counting
+    // -- the forced control sequence is what clocks it back to Idle.
+    bool busy = !mediator_->asleep() || !softIdle();
+    for (std::size_t i = 0; i + 1 < nodes_ && !busy; ++i)
+        busy = hw_[i]->busController().pendingTx() > 0 ||
+               hw_[i]->sleepController().transactionActive();
+    // Two stall shapes, both needing two consecutive busy polls:
+    // frozen CLK (broken ring, dead transmitter), and CLK edges
+    // arriving while the mediator sleeps -- a glitch pulse orbiting
+    // the forwarding ring, clocking phantom bits into every FSM. No
+    // transaction can make real progress without the mediator, so a
+    // sleeping mediator over two whole poll intervals is a stall no
+    // matter what the edge counter does.
+    bool asleep = mediator_->asleep();
+    if (busy && wdLastBusy_ &&
+        (progress == wdLastProgress_ || (asleep && wdLastAsleep_))) {
+        ++busResets_;
+        mediator_->forceInterjection();
+    }
+    wdLastBusy_ = busy;
+    wdLastAsleep_ = asleep;
+    wdLastProgress_ = progress;
+    scheduleWatchdogPoll();
+}
+
 } // namespace backend
 } // namespace mbus

@@ -69,6 +69,19 @@ class BitbangBackend final : public BusBackend
     bus::Address unicastAddress(std::size_t node, bool fullAddressing,
                                 std::uint8_t fuId) const override;
 
+    void injectWireForce(std::size_t node, int lane,
+                         bool level) override;
+    void injectWireRelease(std::size_t node, int lane) override;
+    void injectGlitch(std::size_t node, int lane,
+                      int pulses) override;
+    void injectEdgeDrop(std::size_t node, int lane,
+                        int pulses) override;
+    void setClockDriftFactor(double factor) override;
+    void brownout(std::size_t node) override;
+    void brownoutRecover(std::size_t node) override;
+    void armWatchdog(std::uint32_t epochs) override;
+    std::uint64_t busResets() const override { return busResets_; }
+
     void setDeliveryHandler(DeliveryHandler h) override;
 
     bool runUntilIdle(sim::SimTime timeout) override;
@@ -132,6 +145,11 @@ class BitbangBackend final : public BusBackend
      *  ledger totals below are complete at any read point. */
     void flushSegs() const;
 
+    wire::Net &faultSegment(std::size_t node, int lane);
+    int &forceDepth(std::size_t node, int lane);
+    void scheduleWatchdogPoll();
+    void watchdogPoll();
+
     sim::Simulator &sim_;
     BusParams params_;
     SoftFlavor flavor_;
@@ -148,6 +166,15 @@ class BitbangBackend final : public BusBackend
     std::vector<std::unique_ptr<SegmentTap>> taps_;
     std::unique_ptr<bus::MediatorHostLink> link_;
     std::unique_ptr<bus::Mediator> mediator_;
+
+    // --- Fault-injection state (idle unless a FaultSpec armed it) --
+    std::vector<int> forceDepth_; ///< Nested stuck-at holds,
+                                  ///< nodes x 2 (CLK/DATA).
+    std::uint32_t watchdogEpochs_ = 0;
+    std::uint64_t busResets_ = 0;
+    std::uint64_t wdLastProgress_ = 0;
+    bool wdLastBusy_ = false;
+    bool wdLastAsleep_ = false;
 };
 
 } // namespace backend

@@ -30,6 +30,7 @@ I2cBackend::I2cBackend(sim::Simulator &sim, const BusParams &params,
         mbus_fatal("i2c backend needs 2..14 nodes, got ",
                    params.nodes);
     nodes_.resize(static_cast<std::size_t>(params.nodes));
+    browned_.assign(nodes_.size(), 0);
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         // Node 0 is the gateway/master host and stays on, mirroring
         // the MBus mediator-host convention. Gated members start
@@ -70,6 +71,17 @@ void
 I2cBackend::send(std::size_t node, bus::Message msg,
                  bus::SendCallback cb)
 {
+    if (browned_[node]) {
+        // The chip's bus interface is dead: the send terminates at
+        // once with the reset status so callers never wedge on it.
+        if (cb) {
+            bus::TxResult result;
+            result.status = bus::TxStatus::Reset;
+            result.completedAt = sim_.now();
+            sim_.schedule(0, [cb, result] { cb(result); });
+        }
+        return;
+    }
     // A chip must be awake to drive the bus; transmitting is a local
     // wake decision, as on MBus.
     wake(node);
@@ -90,7 +102,7 @@ I2cBackend::pump()
     pumpScheduled_ = true;
     sim_.schedule(0, [this] {
         pumpScheduled_ = false;
-        if (active_ || queue_.empty())
+        if (active_ || queue_.empty() || jamDepth_ > 0)
             return;
         current_ = std::move(queue_.front());
         queue_.pop_front();
@@ -136,7 +148,8 @@ I2cBackend::startActive()
 
     chargeCycles(current_.node, kAddressPhaseCycles);
     sim::SimTime addressTime = sim::fromSeconds(
-        static_cast<double>(kAddressPhaseCycles + stretch) / clockHz_);
+        static_cast<double>(kAddressPhaseCycles + stretch) /
+        effClockHz());
 
     std::uint64_t epoch = epoch_;
     std::size_t wakeDest = stretch > 0 ? dest : nodes_.size();
@@ -146,8 +159,9 @@ I2cBackend::startActive()
             return; // Aborted by an interjection.
         if (wakeDest < nodes_.size())
             wake(wakeDest);
-        if (!isBroadcast && dest >= nodes_.size()) {
-            // No device ACKed the address.
+        if (!isBroadcast &&
+            (dest >= nodes_.size() || browned_[dest])) {
+            // No device ACKed the address (absent, or browned out).
             finishActive(bus::TxStatus::Nak, 0);
             return;
         }
@@ -167,7 +181,7 @@ I2cBackend::byteDone(std::uint64_t epoch, std::size_t index)
     chargeCycles(current_.node, kCyclesPerByte);
     sim_.schedule(
         sim::fromSeconds(static_cast<double>(kCyclesPerByte) /
-                         clockHz_),
+                         effClockHz()),
         [this, epoch, index] {
             if (!active_ || epoch != epoch_)
                 return;
@@ -225,7 +239,7 @@ I2cBackend::finishActive(bus::TxStatus status, std::size_t bytesDone)
             // broadcast -- an MBus advantage the stats surface).
             DeliveryHandler h = handler_;
             for (std::size_t i = 0; i < nodes_.size(); ++i) {
-                if (i == tx.node || nodes_[i].asleep)
+                if (i == tx.node || nodes_[i].asleep || browned_[i])
                     continue;
                 sim_.schedule(0, [h, i, rx] { h(i, rx); });
             }
@@ -256,6 +270,132 @@ I2cBackend::interject(std::size_t)
         return; // Nothing in flight to stomp.
     ++aborts_;
     finishActive(bus::TxStatus::Interrupted, bytesDone_);
+}
+
+void
+I2cBackend::dropNodeTraffic(std::size_t node)
+{
+    // Queued transfers owned by the node die where they sit.
+    std::deque<Transaction> keep;
+    while (!queue_.empty()) {
+        Transaction tx = std::move(queue_.front());
+        queue_.pop_front();
+        if (tx.node != node) {
+            keep.push_back(std::move(tx));
+            continue;
+        }
+        --nodes_[node].pending;
+        if (tx.cb) {
+            bus::TxResult result;
+            result.status = bus::TxStatus::Reset;
+            result.completedAt = sim_.now();
+            auto cb = std::move(tx.cb);
+            sim_.schedule(0, [cb, result] { cb(result); });
+        }
+        if (tx.retimeDone) {
+            auto done = std::move(tx.retimeDone);
+            sim_.schedule(0, [done] { done(); });
+        }
+    }
+    queue_ = std::move(keep);
+    if (active_ && current_.node == node)
+        finishActive(bus::TxStatus::Reset, bytesDone_);
+}
+
+void
+I2cBackend::injectWireForce(std::size_t, int, bool)
+{
+    // Any line held on the shared pair jams the whole bus.
+    ++jamDepth_;
+    if (active_) {
+        ++busResets_;
+        finishActive(bus::TxStatus::Reset, bytesDone_);
+    }
+}
+
+void
+I2cBackend::injectWireRelease(std::size_t, int)
+{
+    if (jamDepth_ == 0)
+        return;
+    if (--jamDepth_ == 0)
+        pump();
+}
+
+void
+I2cBackend::injectGlitch(std::size_t, int, int)
+{
+    // A runt pulse corrupts the in-flight byte: the transfer aborts
+    // exactly like a third-party stomp, truncated + flagged.
+    if (!active_)
+        return;
+    ++aborts_;
+    finishActive(bus::TxStatus::Interrupted, bytesDone_);
+}
+
+void
+I2cBackend::injectEdgeDrop(std::size_t, int, int)
+{
+    // A swallowed SCL pulse desynchronizes master and slave: same
+    // observable damage as a glitch.
+    if (!active_)
+        return;
+    ++aborts_;
+    finishActive(bus::TxStatus::Interrupted, bytesDone_);
+}
+
+void
+I2cBackend::setClockDriftFactor(double factor)
+{
+    driftFactor_ = factor > 0 ? factor : 1.0;
+}
+
+void
+I2cBackend::brownout(std::size_t node)
+{
+    if (node == 0 || node >= nodes_.size() || browned_[node])
+        return; // Node 0 is the gateway host, out of fault scope.
+    browned_[node] = 1;
+    dropNodeTraffic(node);
+    sleep(node);
+}
+
+void
+I2cBackend::brownoutRecover(std::size_t node)
+{
+    if (node >= nodes_.size())
+        return;
+    browned_[node] = 0;
+}
+
+void
+I2cBackend::armWatchdog(std::uint32_t epochs)
+{
+    if (epochs == 0 || watchdogEpochs_ != 0)
+        return;
+    watchdogEpochs_ = epochs;
+    sim_.schedule(sim::fromSeconds(
+                      static_cast<double>(watchdogEpochs_) /
+                      effClockHz()),
+                  [this] { watchdogPoll(); });
+}
+
+void
+I2cBackend::watchdogPoll()
+{
+    // Transactions are timer-driven, so the only way the pair hangs
+    // is a master that stopped mid-transfer: no SCL cycles across
+    // two whole poll intervals while a transfer claims the bus.
+    if (active_ && wdLastActive_ && cycles_ == wdLastCycles_) {
+        ++busResets_;
+        finishActive(bus::TxStatus::Reset, bytesDone_);
+    }
+    wdLastActive_ = active_;
+    wdLastCycles_ = cycles_;
+    sim_.schedule(sim::fromSeconds(
+                      static_cast<double>(watchdogEpochs_) /
+                      effClockHz()),
+                  [this] { watchdogPoll(); });
 }
 
 void

@@ -82,6 +82,26 @@ class I2cBackend final : public BusBackend
     bus::Address unicastAddress(std::size_t node, bool fullAddressing,
                                 std::uint8_t fuId) const override;
 
+    // Fault injection, mapped to transaction-level damage (I2C has
+    // no per-segment Nets): a stuck line jams the bus -- the active
+    // transfer dies with TxStatus::Reset and the queue stalls until
+    // release; glitches and dropped edges corrupt the in-flight
+    // byte (abort as Interrupted, truncated delivery); drift scales
+    // the SCL tick; a brownout Reset-kills the node's queued and
+    // active transfers and NAKs traffic addressed to it.
+    void injectWireForce(std::size_t node, int lane,
+                         bool level) override;
+    void injectWireRelease(std::size_t node, int lane) override;
+    void injectGlitch(std::size_t node, int lane,
+                      int pulses) override;
+    void injectEdgeDrop(std::size_t node, int lane,
+                        int pulses) override;
+    void setClockDriftFactor(double factor) override;
+    void brownout(std::size_t node) override;
+    void brownoutRecover(std::size_t node) override;
+    void armWatchdog(std::uint32_t epochs) override;
+    std::uint64_t busResets() const override { return busResets_; }
+
     void setDeliveryHandler(DeliveryHandler h) override;
 
     bool runUntilIdle(sim::SimTime timeout) override;
@@ -132,6 +152,15 @@ class I2cBackend final : public BusBackend
     void chargeCycles(std::size_t node, std::uint64_t n);
     void setBusy(bool busy);
 
+    /** SCL rate with any active drift window applied (drift is
+     *  exactly 1.0 when no fault holds it, so timing is unchanged
+     *  byte-for-byte with faults off). */
+    double effClockHz() const { return clockHz_ * driftFactor_; }
+
+    void watchdogPoll();
+    /** Reset-kill every queued/active transfer owned by @p node. */
+    void dropNodeTraffic(std::size_t node);
+
     sim::Simulator &sim_;
     BusParams params_;
     baseline::I2cSizing sizing_;
@@ -149,6 +178,15 @@ class I2cBackend final : public BusBackend
 
     std::uint64_t cycles_ = 0;
     std::uint64_t aborts_ = 0;
+
+    // --- Fault-injection state (idle unless a FaultSpec armed it) --
+    int jamDepth_ = 0;       ///< Nested stuck-at holds on the pair.
+    double driftFactor_ = 1.0;
+    std::vector<std::uint8_t> browned_; ///< Power-cut members.
+    std::uint64_t busResets_ = 0;
+    std::uint32_t watchdogEpochs_ = 0;
+    bool wdLastActive_ = false;
+    std::uint64_t wdLastCycles_ = 0;
 
     DeliveryHandler handler_;
     sim::TraceRecorder *recorder_ = nullptr;

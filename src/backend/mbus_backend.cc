@@ -175,5 +175,181 @@ MbusBackend::dispatchCalls() const
     return system_->dispatchCalls();
 }
 
+// --- Fault injection -------------------------------------------------
+
+wire::Net &
+MbusBackend::faultSegment(std::size_t node, int lane)
+{
+    if (lane <= 0)
+        return system_->clkSegment(node);
+    if (lane >= 2 && lane - 1 < system_->config().dataLanes)
+        return system_->laneSegment(lane - 1, node);
+    return system_->dataSegment(node);
+}
+
+int &
+MbusBackend::forceDepth(std::size_t node, int lane)
+{
+    if (forceDepth_.empty())
+        forceDepth_.assign(system_->nodeCount() * kFaultLanes, 0);
+    if (lane < 0)
+        lane = 0;
+    return forceDepth_[node * kFaultLanes +
+                       static_cast<std::size_t>(lane % kFaultLanes)];
+}
+
+void
+MbusBackend::injectWireForce(std::size_t node, int lane, bool level)
+{
+    if (node >= system_->nodeCount())
+        return;
+    ++forceDepth(node, lane);
+    faultSegment(node, lane).force(level); // Last hold wins overlap.
+}
+
+void
+MbusBackend::injectWireRelease(std::size_t node, int lane)
+{
+    if (node >= system_->nodeCount())
+        return;
+    int &depth = forceDepth(node, lane);
+    if (depth == 0)
+        return;
+    if (--depth == 0)
+        faultSegment(node, lane).release();
+}
+
+void
+MbusBackend::injectGlitch(std::size_t node, int lane, int pulses)
+{
+    if (node >= system_->nodeCount() || pulses <= 0)
+        return;
+    // Sub-hop-delay runts: force the opposite value for half a hop
+    // delay, then snap back -- unless a stuck-at is (or becomes)
+    // active on the segment, which masks the glitch.
+    sim::SimTime width = system_->config().hopDelay / 2;
+    if (width == 0)
+        width = 1;
+    sim::Simulator &sim = system_->simulator();
+    for (int i = 0; i < pulses; ++i) {
+        sim.schedule(2 * width * static_cast<sim::SimTime>(i),
+                     [this, node, lane] {
+                         if (forceDepth(node, lane) > 0)
+                             return;
+                         wire::Net &seg = faultSegment(node, lane);
+                         seg.force(!seg.value());
+                     });
+        sim.schedule(2 * width * static_cast<sim::SimTime>(i) + width,
+                     [this, node, lane] {
+                         if (forceDepth(node, lane) > 0)
+                             return;
+                         faultSegment(node, lane).release();
+                     });
+    }
+}
+
+void
+MbusBackend::injectEdgeDrop(std::size_t node, int lane, int pulses)
+{
+    if (node >= system_->nodeCount() || pulses <= 0)
+        return;
+    faultSegment(node, lane)
+        .dropEdges(static_cast<std::uint32_t>(pulses));
+}
+
+void
+MbusBackend::setClockDriftFactor(double factor)
+{
+    system_->config().clockDriftFactor = factor > 0 ? factor : 1.0;
+}
+
+void
+MbusBackend::brownout(std::size_t node)
+{
+    // Node 0 hosts the mediator: cutting it is cutting the bus, not
+    // a member failure, so it is out of scope for the fault model.
+    if (node == 0 || node >= system_->nodeCount())
+        return;
+    bus::Node &n = system_->node(node);
+    // The gateable domains die with in-flight state; queued sends
+    // terminate with TxStatus::Reset. The always-on wire controllers
+    // survive and fall back to forwarding, exactly what a powered
+    // mux with a dead control domain does.
+    n.busController().powerFail();
+    n.clkWireController().forward();
+    n.dataWireController().forward();
+    for (std::size_t l = 0; l < n.laneWireControllers(); ++l)
+        n.laneWireController(l).forward();
+    if (n.config().powerGated)
+        n.sleep();
+}
+
+void
+MbusBackend::brownoutRecover(std::size_t node)
+{
+    if (node == 0 || node >= system_->nodeCount())
+        return;
+    bus::Node &n = system_->node(node);
+    if (n.config().powerGated && !n.awake())
+        n.wake();
+}
+
+void
+MbusBackend::armWatchdog(std::uint32_t epochs)
+{
+    if (epochs == 0 || watchdogEpochs_ != 0)
+        return;
+    watchdogEpochs_ = epochs;
+    scheduleWatchdogPoll();
+}
+
+void
+MbusBackend::scheduleWatchdogPoll()
+{
+    sim::SimTime interval =
+        watchdogEpochs_ *
+        sim::periodFromHz(system_->config().busClockHz);
+    system_->simulator().schedule(interval,
+                                  [this] { watchdogPoll(); });
+}
+
+void
+MbusBackend::watchdogPoll()
+{
+    system_->flushDeferredEdges();
+    // CLK progress is measured where the mediator sees it: the ring
+    // tail segment feeding its CLK input. A broken ring (stuck
+    // segment, dead transmitter, runaway clocking into a break)
+    // stalls it even while the mediator's own output toggles.
+    std::uint64_t progress =
+        system_->clkSegment(system_->nodeCount() - 1).edgeEpoch();
+    // "Busy" must cover every state runUntilIdle() waits out --
+    // including a node wedged mid-transaction with an empty queue
+    // (its receive path lost edges to a fault) -- or the watchdog
+    // would never reclaim exactly the hangs it exists for.
+    bool busy = !system_->mediator().asleep();
+    for (std::size_t i = 0; i < system_->nodeCount() && !busy; ++i)
+        busy = pendingTx(i) > 0 ||
+               system_->node(i).sleepController().transactionActive();
+    // Two stall shapes, both needing two consecutive busy polls:
+    // frozen CLK (broken ring, dead transmitter), and CLK edges
+    // arriving while the mediator sleeps -- a glitch pulse orbiting
+    // the forwarding ring, clocking phantom bits into every FSM. No
+    // transaction can make real progress without the mediator, so a
+    // sleeping mediator over two whole poll intervals is a stall no
+    // matter what the edge counter does. Reclaim via the Sec 4.9
+    // rescue path (full interjection + general error).
+    bool asleep = system_->mediator().asleep();
+    if (busy && wdLastBusy_ &&
+        (progress == wdLastProgress_ || (asleep && wdLastAsleep_))) {
+        ++busResets_;
+        system_->mediator().forceInterjection();
+    }
+    wdLastBusy_ = busy;
+    wdLastAsleep_ = asleep;
+    wdLastProgress_ = progress;
+    scheduleWatchdogPoll();
+}
+
 } // namespace backend
 } // namespace mbus

@@ -14,6 +14,7 @@
 #define MBUS_BACKEND_MBUS_BACKEND_HH
 
 #include <memory>
+#include <vector>
 
 #include "backend/backend.hh"
 #include "mbus/system.hh"
@@ -52,6 +53,19 @@ class MbusBackend final : public BusBackend
     bus::Address unicastAddress(std::size_t node, bool fullAddressing,
                                 std::uint8_t fuId) const override;
 
+    void injectWireForce(std::size_t node, int lane,
+                         bool level) override;
+    void injectWireRelease(std::size_t node, int lane) override;
+    void injectGlitch(std::size_t node, int lane,
+                      int pulses) override;
+    void injectEdgeDrop(std::size_t node, int lane,
+                        int pulses) override;
+    void setClockDriftFactor(double factor) override;
+    void brownout(std::size_t node) override;
+    void brownoutRecover(std::size_t node) override;
+    void armWatchdog(std::uint32_t epochs) override;
+    std::uint64_t busResets() const override { return busResets_; }
+
     void setDeliveryHandler(DeliveryHandler h) override;
 
     bool runUntilIdle(sim::SimTime timeout) override;
@@ -69,8 +83,25 @@ class MbusBackend final : public BusBackend
     bus::MBusSystem &system() { return *system_; }
 
   private:
+    /** Injection lanes per node the fault engine can address. */
+    static constexpr int kFaultLanes = 8;
+
+    wire::Net &faultSegment(std::size_t node, int lane);
+    int &forceDepth(std::size_t node, int lane);
+    void scheduleWatchdogPoll();
+    void watchdogPoll();
+
     BusParams params_;
     std::unique_ptr<bus::MBusSystem> system_;
+
+    // --- Fault-injection state (idle unless a FaultSpec armed it) --
+    std::vector<int> forceDepth_; ///< Nested stuck-at holds,
+                                  ///< nodes x kFaultLanes.
+    std::uint32_t watchdogEpochs_ = 0;
+    std::uint64_t busResets_ = 0;
+    std::uint64_t wdLastProgress_ = 0;
+    bool wdLastBusy_ = false;
+    bool wdLastAsleep_ = false;
 };
 
 } // namespace backend

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * FaultSpec compilation and arming.
+ *
+ * Mirrors the workload compiler's determinism discipline: each entry
+ * draws from its own split stream in a fixed order, draws happen
+ * unconditionally (so plans stay stable when a draw is discarded),
+ * and the merged plan sorts by (at, stream, seq) to make the event
+ * order independent of entry order ties.
+ */
+
+#include "fault/fault.hh"
+
+#include <algorithm>
+
+#include "backend/backend.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+namespace mbus {
+namespace fault {
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+    case FaultKind::StuckAt0:
+        return "stuck0";
+    case FaultKind::StuckAt1:
+        return "stuck1";
+    case FaultKind::GlitchBurst:
+        return "glitch";
+    case FaultKind::EdgeDrop:
+        return "edgedrop";
+    case FaultKind::ClockDrift:
+        return "drift";
+    case FaultKind::Brownout:
+        return "brownout";
+    }
+    return "?";
+}
+
+FaultEngine::FaultEngine(const FaultSpec &spec, std::uint64_t seed,
+                         int faultableNodes)
+    : spec_(spec)
+{
+    if (!spec_.enabled())
+        return;
+    sim::Random root(seed);
+    for (std::size_t j = 0; j < spec_.entries.size(); ++j) {
+        const FaultEntry &e = spec_.entries[j];
+        std::uint64_t streamId =
+            e.stream >= 0 ? static_cast<std::uint64_t>(e.stream) : j;
+        sim::Random rng = root.split(kFaultStreamBase + streamId);
+        double span = e.endS > e.startS ? e.endS - e.startS : 0.0;
+        std::uint32_t seq = 0;
+        for (int k = 0; k < e.count; ++k) {
+            // Fixed draw order per event; unconditional, so skipped
+            // events (no eligible target) do not shift later draws.
+            double atS = e.startS + rng.uniform() * span;
+            double durS = e.durationS *
+                          (1.0 + e.jitterFrac * (2.0 * rng.uniform() - 1.0));
+            std::uint64_t nodeDraw = rng.below(1u << 20);
+            std::uint64_t laneDraw = rng.below(2);
+            double factor =
+                1.0 + e.driftFrac * (2.0 * rng.uniform() - 1.0);
+            if (durS < 0)
+                durS = 0;
+
+            FaultEvent ev;
+            ev.at = sim::fromSeconds(atS);
+            ev.stream = static_cast<std::uint32_t>(streamId);
+            ev.pulses = e.pulses > 0 ? e.pulses : 1;
+            ev.lane = e.lane >= 0 ? e.lane
+                                  : static_cast<int>(laneDraw);
+
+            bool needsTarget = e.kind != FaultKind::ClockDrift;
+            if (needsTarget) {
+                if (e.node > 0) {
+                    if (e.node >= faultableNodes)
+                        continue; // Fixed target outside this ring.
+                    ev.node = static_cast<std::size_t>(e.node);
+                } else {
+                    if (faultableNodes <= 1)
+                        continue; // No drawable member.
+                    ev.node = 1 + static_cast<std::size_t>(
+                                      nodeDraw %
+                                      static_cast<std::uint64_t>(
+                                          faultableNodes - 1));
+                }
+            }
+
+            sim::SimTime offAt = ev.at + sim::fromSeconds(durS);
+            switch (e.kind) {
+            case FaultKind::StuckAt0:
+            case FaultKind::StuckAt1: {
+                ev.level = e.kind == FaultKind::StuckAt1;
+                ev.op = FaultOp::WireForce;
+                ev.seq = seq++;
+                plan_.push_back(ev);
+                FaultEvent off = ev;
+                off.op = FaultOp::WireRelease;
+                off.at = offAt;
+                off.seq = seq++;
+                plan_.push_back(off);
+                break;
+            }
+            case FaultKind::GlitchBurst:
+                ev.op = FaultOp::Glitch;
+                ev.seq = seq++;
+                plan_.push_back(ev);
+                break;
+            case FaultKind::EdgeDrop:
+                ev.op = FaultOp::EdgeDrop;
+                ev.seq = seq++;
+                plan_.push_back(ev);
+                break;
+            case FaultKind::ClockDrift: {
+                ev.op = FaultOp::DriftOn;
+                ev.factor = factor;
+                ev.seq = seq++;
+                plan_.push_back(ev);
+                FaultEvent off = ev;
+                off.op = FaultOp::DriftOff;
+                off.factor = 1.0;
+                off.at = offAt;
+                off.seq = seq++;
+                plan_.push_back(off);
+                break;
+            }
+            case FaultKind::Brownout: {
+                ev.op = FaultOp::BrownoutOn;
+                ev.seq = seq++;
+                plan_.push_back(ev);
+                FaultEvent off = ev;
+                off.op = FaultOp::BrownoutOff;
+                off.at = offAt;
+                off.seq = seq++;
+                plan_.push_back(off);
+                break;
+            }
+            }
+        }
+    }
+    std::sort(plan_.begin(), plan_.end(),
+              [](const FaultEvent &a, const FaultEvent &b) {
+                  if (a.at != b.at)
+                      return a.at < b.at;
+                  if (a.stream != b.stream)
+                      return a.stream < b.stream;
+                  return a.seq < b.seq;
+              });
+}
+
+void
+FaultEngine::arm(backend::BusBackend &backend, sim::Simulator &sim)
+{
+    if (!spec_.enabled())
+        return;
+    for (const FaultEvent &ev : plan_) {
+        sim::SimTime delay =
+            ev.at > sim.now() ? ev.at - sim.now() : 0;
+        backend::BusBackend *b = &backend;
+        FaultEvent e = ev;
+        int *injected = &injected_;
+        sim.schedule(delay, [b, e, injected] {
+            switch (e.op) {
+            case FaultOp::WireForce:
+                b->injectWireForce(e.node, e.lane, e.level);
+                break;
+            case FaultOp::WireRelease:
+                b->injectWireRelease(e.node, e.lane);
+                break;
+            case FaultOp::Glitch:
+                b->injectGlitch(e.node, e.lane, e.pulses);
+                break;
+            case FaultOp::EdgeDrop:
+                b->injectEdgeDrop(e.node, e.lane, e.pulses);
+                break;
+            case FaultOp::DriftOn:
+                b->setClockDriftFactor(e.factor);
+                break;
+            case FaultOp::DriftOff:
+                b->setClockDriftFactor(1.0);
+                break;
+            case FaultOp::BrownoutOn:
+                b->brownout(e.node);
+                break;
+            case FaultOp::BrownoutOff:
+                b->brownoutRecover(e.node);
+                break;
+            }
+            ++*injected;
+        });
+    }
+    if (spec_.watchdog)
+        backend.armWatchdog(
+            static_cast<std::uint32_t>(spec_.watchdogEpochs));
+}
+
+} // namespace fault
+} // namespace mbus

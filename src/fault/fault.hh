@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Deterministic physical-layer fault injection.
+ *
+ * The paper's survivability claim (Secs 4.8-4.9, 7) is that MBus
+ * stays correct while its members fail: chips brown out
+ * mid-transaction, clocks drift, wires glitch, and the mediator must
+ * always be able to reclaim the bus. This module perturbs the
+ * simulated wire layer itself -- stuck-at segments, glitch bursts,
+ * swallowed edges, mediator clock drift, and power-domain cuts with
+ * in-flight state loss -- from a declarative FaultSpec.
+ *
+ * Determinism contract: a FaultSpec compiles into a time-sorted
+ * event plan using one `Random::split` stream per entry
+ * (kFaultStreamBase + stream id), mirroring the workload compiler.
+ * The plan is a pure function of (spec, seed, faultable population),
+ * so a faulty sweep cell replays bit-identically solo, on any worker
+ * thread count, and the fault schedule becomes an ordinary grid axis
+ * (`ScenarioSpec::faults`). With no entries, nothing is compiled,
+ * armed, or polled: the zero-overhead-when-off guarantee existing
+ * golden VCDs pin.
+ */
+
+#ifndef MBUS_FAULT_FAULT_HH
+#define MBUS_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mbus {
+
+namespace backend {
+class BusBackend;
+}
+namespace sim {
+class Simulator;
+}
+
+namespace fault {
+
+/** The physical failure modes the engine can inject. */
+enum class FaultKind : std::uint8_t {
+    StuckAt0,    ///< Ring segment held low for a bounded window.
+    StuckAt1,    ///< Ring segment held high for a bounded window.
+    GlitchBurst, ///< Sub-hop-delay pulse burst on one segment.
+    EdgeDrop,    ///< Wire swallows whole pulses (runt absorption).
+    ClockDrift,  ///< Mediator tick drifts by a factor for a window.
+    Brownout,    ///< Node power domains cut mid-transaction;
+                 ///< in-flight TX state is lost (TxStatus::Reset).
+};
+
+/** @return a short printable name ("stuck0", "glitch", ...). */
+const char *faultKindName(FaultKind k);
+
+/**
+ * One line of a fault schedule: @p count events of @p kind drawn
+ * uniformly inside [startS, endS), each from this entry's private
+ * RNG stream. Fields a kind does not use are ignored (but never
+ * drawn from the stream, so adding kinds keeps old plans stable).
+ */
+struct FaultEntry
+{
+    FaultKind kind = FaultKind::StuckAt0;
+    int node = -1;  ///< Target node; -1 draws a member per event.
+                    ///< Node 0 (mediator host) is never eligible.
+    int lane = -1;  ///< 0 = CLK, 1 = DATA, 2+ = extra MBus lanes;
+                    ///< -1 draws CLK or DATA per event.
+    double startS = 0.0; ///< Window start, seconds.
+    double endS = 1.0;   ///< Window end, seconds.
+    int count = 1;       ///< Events drawn in the window.
+    double durationS = 1e-3; ///< Bounded fault duration per event
+                             ///< (stuck / drift / brownout).
+    double jitterFrac = 0.0; ///< Uniform +/- fraction on duration.
+    double driftFrac = 0.05; ///< ClockDrift: factor drawn uniformly
+                             ///< in [1 - driftFrac, 1 + driftFrac].
+    int pulses = 1; ///< GlitchBurst: pulses per event; EdgeDrop:
+                    ///< whole pulses swallowed per event.
+    int stream = -1; ///< RNG stream id; -1 uses the entry index.
+};
+
+/**
+ * A named, declarative fault schedule -- one sweep grid axis value.
+ * Default-constructed (no entries) means faults are off and the
+ * engine never touches the fabric.
+ */
+struct FaultSpec
+{
+    std::string name = "";           ///< Axis label in the CSV.
+    std::vector<FaultEntry> entries; ///< The schedule.
+
+    // Recovery machinery armed alongside the schedule.
+    bool watchdog = true;   ///< Arm the per-fabric bus watchdog.
+    int watchdogEpochs = 64; ///< Bus epochs of no CLK progress while
+                             ///< busy before a force-reset.
+
+    bool enabled() const { return !entries.empty(); }
+};
+
+/** The primitive wire/system operations a compiled event performs. */
+enum class FaultOp : std::uint8_t {
+    WireForce,   ///< Hold a segment at `level` (stuck-at begin).
+    WireRelease, ///< Release a held segment (stuck-at end).
+    Glitch,      ///< `pulses` sub-delay pulses on a segment.
+    EdgeDrop,    ///< Swallow `pulses` whole pulses on a segment.
+    DriftOn,     ///< Mediator tick factor := `factor`.
+    DriftOff,    ///< Mediator tick factor := 1.0 (exact).
+    BrownoutOn,  ///< Cut a node's gateable power domains.
+    BrownoutOff, ///< Restore the node.
+};
+
+/** One compiled, scheduled fault primitive. */
+struct FaultEvent
+{
+    sim::SimTime at = 0;
+    FaultOp op = FaultOp::WireForce;
+    std::size_t node = 0;
+    int lane = 0;
+    bool level = false;  ///< Stuck-at level.
+    double factor = 1.0; ///< Drift factor.
+    int pulses = 1;      ///< Glitch pulses / dropped pulses.
+    std::uint32_t stream = 0; ///< Tie-break: originating entry.
+    std::uint32_t seq = 0;    ///< Tie-break: draw order in entry.
+};
+
+/** Stream ids: entry j draws from split(kFaultStreamBase + j),
+ *  disjoint from workload actor (1 + k) and schedule (0x10001 + k)
+ *  streams on the same cell seed. */
+constexpr std::uint64_t kFaultStreamBase = 0x20001;
+
+/**
+ * Compiles a FaultSpec against a cell seed and arms the plan on a
+ * backend. `faultableNodes` bounds the drawable target population:
+ * nodes [1, faultableNodes) are eligible (node 0 hosts the mediator;
+ * mixed-ring fabrics also exclude their software member).
+ */
+class FaultEngine
+{
+  public:
+    FaultEngine(const FaultSpec &spec, std::uint64_t seed,
+                int faultableNodes);
+
+    /** The compiled, (at, stream, seq)-sorted event plan. */
+    const std::vector<FaultEvent> &plan() const { return plan_; }
+
+    /**
+     * Schedule every planned event on @p sim against @p backend and
+     * arm the watchdog if the spec asks for one. Call once, before
+     * running; the engine must outlive the run.
+     */
+    void arm(backend::BusBackend &backend, sim::Simulator &sim);
+
+    /** Events applied so far (monotone during the run). */
+    int injected() const { return injected_; }
+
+  private:
+    FaultSpec spec_;
+    std::vector<FaultEvent> plan_;
+    int injected_ = 0;
+};
+
+} // namespace fault
+} // namespace mbus
+
+#endif // MBUS_FAULT_FAULT_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Retry/backoff implementation over the BusBackend seam.
+ */
+
+#include "fault/retry.hh"
+
+#include <memory>
+#include <utility>
+
+#include "backend/backend.hh"
+#include "sim/simulator.hh"
+
+namespace mbus {
+namespace fault {
+
+bool
+retryableStatus(bus::TxStatus s)
+{
+    switch (s) {
+    case bus::TxStatus::Nak:
+    case bus::TxStatus::Interrupted:
+    case bus::TxStatus::RxAbort:
+    case bus::TxStatus::GeneralError:
+    case bus::TxStatus::Reset:
+        return true;
+    default:
+        return false;
+    }
+}
+
+namespace {
+
+struct RetryAttempt
+{
+    backend::BusBackend *backend = nullptr;
+    sim::Simulator *sim = nullptr;
+    std::size_t node = 0;
+    bus::Message msg;
+    RetryPolicy policy;
+    RetryStats *stats = nullptr;
+    bus::SendCallback finalCb;
+    int attempt = 0;
+    bool failedOnce = false;
+    sim::SimTime firstFailAt = 0;
+};
+
+void
+launch(const std::shared_ptr<RetryAttempt> &a)
+{
+    a->backend->send(a->node, a->msg, [a](const bus::TxResult &r) {
+        if (retryableStatus(r.status) &&
+            a->attempt < a->policy.maxRetries) {
+            if (!a->failedOnce) {
+                a->failedOnce = true;
+                a->firstFailAt = a->sim->now();
+            }
+            // Back off backoffEpochs * multiplier^attempt bus-idle
+            // epochs before re-queueing, so contending members fan
+            // out instead of re-colliding.
+            double epochs = a->policy.backoffEpochs;
+            for (int i = 0; i < a->attempt; ++i)
+                epochs *= a->policy.multiplier;
+            double clock = a->backend->busClockHz();
+            sim::SimTime delay =
+                clock > 0 ? sim::fromSeconds(epochs / clock) : 0;
+            ++a->attempt;
+            ++a->stats->retries;
+            a->sim->schedule(delay, [a] { launch(a); });
+            return;
+        }
+        if (a->failedOnce) {
+            bool delivered = r.status == bus::TxStatus::Ack ||
+                             r.status == bus::TxStatus::Broadcast;
+            if (delivered) {
+                ++a->stats->recoveredTx;
+                a->stats->recoveryS.push_back(sim::toSeconds(
+                    a->sim->now() - a->firstFailAt));
+            } else {
+                ++a->stats->abandonedTx;
+            }
+        }
+        if (a->finalCb)
+            a->finalCb(r);
+    });
+}
+
+} // namespace
+
+void
+sendWithRetry(backend::BusBackend &backend, sim::Simulator &sim,
+              std::size_t node, bus::Message msg,
+              const RetryPolicy &policy, RetryStats &stats,
+              bus::SendCallback finalCb)
+{
+    if (!policy.enabled()) {
+        backend.send(node, std::move(msg), std::move(finalCb));
+        return;
+    }
+    auto a = std::make_shared<RetryAttempt>();
+    a->backend = &backend;
+    a->sim = &sim;
+    a->node = node;
+    a->msg = std::move(msg);
+    a->policy = policy;
+    a->stats = &stats;
+    a->finalCb = std::move(finalCb);
+    launch(a);
+}
+
+} // namespace fault
+} // namespace mbus

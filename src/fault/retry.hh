@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Node-level retry policy: bounded retries with exponential backoff
+ * in bus-idle epochs.
+ *
+ * The paper's members are expected to re-attempt transfers the
+ * mediator killed (general error, interjection, bus reset) after
+ * backing off; this is the software half of the survivability story
+ * the fault engine stresses. The policy is configurable per actor
+ * and runs identically over every BusBackend fabric, so the sweep
+ * CSV's recovered/abandoned counts compare like with like.
+ *
+ * With maxRetries == 0 the wrapper degenerates to a plain
+ * backend.send() -- no extra scheduling, no stream draws -- keeping
+ * the zero-overhead-when-off guarantee.
+ */
+
+#ifndef MBUS_FAULT_RETRY_HH
+#define MBUS_FAULT_RETRY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mbus/message.hh"
+#include "sim/types.hh"
+
+namespace mbus {
+
+namespace backend {
+class BusBackend;
+}
+namespace sim {
+class Simulator;
+}
+
+namespace fault {
+
+/** Bounded-retry/backoff knobs, configurable per actor. */
+struct RetryPolicy
+{
+    int maxRetries = 0;        ///< 0 disables the machinery.
+    double backoffEpochs = 16; ///< Idle epochs before the first
+                               ///< retry (scaled by the bus clock).
+    double multiplier = 2.0;   ///< Exponential backoff factor.
+
+    bool enabled() const { return maxRetries > 0; }
+};
+
+/** Counters the retry wrapper accumulates across a run. */
+struct RetryStats
+{
+    std::uint64_t retries = 0; ///< Re-sends issued.
+    int recoveredTx = 0;       ///< Failed at least once, then
+                               ///< delivered.
+    int abandonedTx = 0;       ///< Exhausted retries, still failed.
+    std::vector<double> recoveryS; ///< First-failure-to-delivery
+                                   ///< latency per recovered tx.
+};
+
+/** @return true if @p s is a failure a retry could cure. */
+bool retryableStatus(bus::TxStatus s);
+
+/**
+ * Send @p msg from @p node with up to policy.maxRetries re-attempts
+ * on retryable terminal statuses, backing off
+ * `backoffEpochs * multiplier^attempt` bus epochs between attempts.
+ * @p finalCb fires exactly once, with the terminal result of the
+ * last attempt. @p stats must outlive the run.
+ */
+void sendWithRetry(backend::BusBackend &backend, sim::Simulator &sim,
+                   std::size_t node, bus::Message msg,
+                   const RetryPolicy &policy, RetryStats &stats,
+                   bus::SendCallback finalCb);
+
+} // namespace fault
+} // namespace mbus
+
+#endif // MBUS_FAULT_RETRY_HH

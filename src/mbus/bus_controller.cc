@@ -95,6 +95,27 @@ BusController::onPowerLost()
 }
 
 void
+BusController::powerFail()
+{
+    onPowerLost();
+    std::deque<PendingTx> dead;
+    dead.swap(txQueue_);
+    for (PendingTx &tx : dead) {
+        ++stats_.messagesSent;
+        ++stats_.messagesFailed;
+        if (!tx.cb)
+            continue;
+        TxResult result;
+        result.status = TxStatus::Reset;
+        result.bytesSent = 0;
+        result.arbitrationRetries = tx.retries;
+        result.completedAt = ctx_.sim.now();
+        auto cb = std::move(tx.cb);
+        ctx_.sim.schedule(0, [cb, result] { cb(result); });
+    }
+}
+
+void
 BusController::onClkEdge(bool rising)
 {
     if (!ctx_.busDomain.active())

@@ -178,6 +178,15 @@ class BusController : public ClockEdgeSink
     /** Called by the power domain when the controller loses power. */
     void onPowerLost();
 
+    /**
+     * Hard brownout: a mid-transaction power cut that, unlike
+     * graceful gating (onPowerLost), also loses the queued
+     * transmissions -- the application state holding them is gone.
+     * Every queued send completes with TxStatus::Reset so callers
+     * still observe exactly one terminal status per send.
+     */
+    void powerFail();
+
     /** Hooked to the interjection detector by the node. */
     void onInterjectionDetected();
 

@@ -24,6 +24,12 @@ struct SystemConfig
      *  the paper's implementation; default 400 kHz (Sec 6.3.2). */
     double busClockHz = 400e3;
 
+    /** Fault injection: multiplicative drift on the mediator tick
+     *  (oscillator wander). Exactly 1.0 -- the IEEE-exact identity
+     *  -- when no drift window is active, so the default changes no
+     *  byte of any schedule. */
+    double clockDriftFactor = 1.0;
+
     /** Node-to-node propagation delay (spec max 10 ns, Sec 6.1). */
     sim::SimTime hopDelay = 10 * sim::kNanosecond;
 

@@ -51,7 +51,11 @@ Mediator::arm()
 sim::SimTime
 Mediator::period() const
 {
-    return sim::periodFromHz(ctx_.cfg.busClockHz);
+    // clockDriftFactor is exactly 1.0 outside fault-injection drift
+    // windows; x * 1.0 is IEEE-exact, so the no-fault tick is
+    // bit-identical to the pre-fault-engine one.
+    return sim::periodFromHz(ctx_.cfg.busClockHz *
+                             ctx_.cfg.clockDriftFactor);
 }
 
 void

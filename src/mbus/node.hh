@@ -127,6 +127,13 @@ class Node : private wire::EdgeListener
     WireController &clkWireController() { return *wcClk_; }
     WireController &dataWireController() { return *wcData_; }
 
+    /** Extra parallel-lane wire controllers (lanes beyond DATA0). */
+    std::size_t laneWireControllers() const { return wcLanes_.size(); }
+    WireController &laneWireController(std::size_t lane)
+    {
+        return *wcLanes_.at(lane);
+    }
+
     /** Assigned or static short prefix (0 if none). */
     std::uint8_t shortPrefix() const { return busCtl_->shortPrefix(); }
 

@@ -26,6 +26,7 @@ txStatusName(TxStatus status)
       case TxStatus::RxAbort: return "RX_ABORT";
       case TxStatus::GeneralError: return "GENERAL_ERROR";
       case TxStatus::LostArbitration: return "LOST_ARBITRATION";
+      case TxStatus::Reset: return "RESET";
       default: return "?";
     }
 }

@@ -109,6 +109,9 @@ enum class TxStatus : std::uint8_t {
     RxAbort,      ///< The receiver aborted (e.g. buffer overrun).
     GeneralError, ///< Mediator signalled an error (incl. watchdog).
     LostArbitration, ///< Internal: retried automatically.
+    Reset,        ///< Killed by a bus reset: the node browned out
+                  ///< with the message in flight, or the watchdog
+                  ///< tore the transfer down to reclaim the bus.
 };
 
 /** @return a printable name for a TX status. */

@@ -91,17 +91,21 @@ TraceRecorder::writeVcd(std::ostream &os, SimTime timescalePs) const
     struct Item
     {
         SimTime when;
+        std::size_t seq; ///< Insertion order: the stability key.
         std::size_t sig;
         bool value;
     };
     std::vector<Item> items;
     for (std::size_t i = 0; i < signals_.size(); ++i)
         for (const auto &c : signals_[i].changes)
-            items.push_back(Item{c.when, i, c.value});
-    std::stable_sort(items.begin(), items.end(),
-                     [](const Item &a, const Item &b) {
-                         return a.when < b.when;
-                     });
+            items.push_back(Item{c.when, items.size(), i, c.value});
+    // (when, seq) ordering == a stable sort on `when`, without
+    // stable_sort's temporary buffer.
+    std::sort(items.begin(), items.end(),
+              [](const Item &a, const Item &b) {
+                  return a.when != b.when ? a.when < b.when
+                                          : a.seq < b.seq;
+              });
 
     SimTime current = 0;
     for (const auto &item : items) {

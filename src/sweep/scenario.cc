@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -146,7 +147,8 @@ makePlan(const ScenarioSpec &spec, backend::BusBackend &backend,
 void runClassicTraffic(const ScenarioSpec &spec,
                        backend::BusBackend &backend,
                        sim::Simulator &simulator, ScenarioStats &st,
-                       int &done, sim::SimTime &lastCompletion,
+                       fault::RetryStats &retryStats, int &done,
+                       sim::SimTime &lastCompletion,
                        double &latencySumS,
                        std::vector<double> &latenciesS,
                        std::uint64_t &completedWireBits);
@@ -183,7 +185,24 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
     if (spec.captureVcd)
         backend->attachTrace(recorder);
 
+    // Fault engine: compiled on the same cell seed (disjoint split
+    // streams) and armed before any traffic so injected events land
+    // at absolute plan times. Nodes [1, faultable) are eligible;
+    // mixed-ring fabrics exclude their software member, whose pins
+    // the wire-level hooks cannot force.
+    std::unique_ptr<fault::FaultEngine> faultEngine;
+    if (spec.faults.enabled()) {
+        int faultable = spec.nodes;
+        if (spec.backend == backend::BackendKind::Bitbang ||
+            spec.backend == backend::BackendKind::Firmware)
+            --faultable;
+        faultEngine = std::make_unique<fault::FaultEngine>(
+            spec.faults, seed, faultable);
+        faultEngine->arm(*backend, simulator);
+    }
+
     ScenarioStats st;
+    fault::RetryStats retryStats;
 
     int done = 0;
     sim::SimTime lastCompletion = 0;
@@ -224,6 +243,14 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
         st.faultsInjected = w.faultsInjected;
         st.faultsRecovered = w.faultsRecovered;
         st.retimings = w.retimings;
+        st.txResets = w.txResets;
+        st.deliveredOk = w.deliveredOk;
+        st.deliveredInterrupted = w.deliveredInterrupted;
+        st.deliveredOverflow = w.deliveredOverflow;
+        retryStats.retries = w.retries;
+        retryStats.recoveredTx = w.recoveredTx;
+        retryStats.abandonedTx = w.abandonedTx;
+        retryStats.recoveryS = std::move(w.recoveryS);
 
         latenciesS = std::move(w.txLatenciesS);
         latencySumS = w.latencySumS;
@@ -231,9 +258,9 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
         lastCompletion = w.lastCompletion;
         done = static_cast<int>(latenciesS.size());
     } else {
-        runClassicTraffic(spec, *backend, simulator, st, done,
-                          lastCompletion, latencySumS, latenciesS,
-                          completedWireBits);
+        runClassicTraffic(spec, *backend, simulator, st, retryStats,
+                          done, lastCompletion, latencySumS,
+                          latenciesS, completedWireBits);
     }
 
     // --- Reduction ---------------------------------------------------
@@ -269,6 +296,23 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
     st.leakageJ = backend->leakageJ();
     st.simTime = simulator.now();
 
+    // Fault and recovery reduction (all-zero with faults off).
+    st.faultEvents = faultEngine ? faultEngine->injected() : 0;
+    st.busResets = backend->busResets();
+    st.retries = retryStats.retries;
+    st.recoveredTx = retryStats.recoveredTx;
+    st.abandonedTx = retryStats.abandonedTx;
+    if (!retryStats.recoveryS.empty()) {
+        std::sort(retryStats.recoveryS.begin(),
+                  retryStats.recoveryS.end());
+        st.recoveryP50S =
+            nearestRankPercentile(retryStats.recoveryS, 0.50);
+        st.recoveryP95S =
+            nearestRankPercentile(retryStats.recoveryS, 0.95);
+        st.recoveryP99S =
+            nearestRankPercentile(retryStats.recoveryS, 0.99);
+    }
+
     // Cross-backend headline numbers: energy per delivered sample
     // (workload cells) or per ACKed message, and the paper-style
     // battery-lifetime projection of the measured mix.
@@ -298,8 +342,9 @@ void
 runClassicTraffic(const ScenarioSpec &spec,
                   backend::BusBackend &backend,
                   sim::Simulator &simulator, ScenarioStats &st,
-                  int &done, sim::SimTime &lastCompletion,
-                  double &latencySumS, std::vector<double> &latenciesS,
+                  fault::RetryStats &retryStats, int &done,
+                  sim::SimTime &lastCompletion, double &latencySumS,
+                  std::vector<double> &latenciesS,
                   std::uint64_t &completedWireBits)
 {
     st.planned = spec.messages;
@@ -313,8 +358,14 @@ runClassicTraffic(const ScenarioSpec &spec,
     std::multiset<std::vector<std::uint8_t>> expected;
     backend.setDeliveryHandler(
         [&](std::size_t, const bus::ReceivedMessage &rx) {
-            if (rx.interjected)
+            if (rx.interjected) {
+                ++st.deliveredInterrupted;
                 return; // Truncated by design; content untrusted.
+            }
+            if (rx.error == bus::LocalError::RecvOverflow)
+                ++st.deliveredOverflow;
+            else if (rx.error == bus::LocalError::None)
+                ++st.deliveredOk;
             st.bytesDelivered += rx.payload.size();
             auto it = expected.find(rx.payload);
             if (it == expected.end())
@@ -354,14 +405,22 @@ runClassicTraffic(const ScenarioSpec &spec,
                                [&backend, who] { backend.interject(who); });
         }
         int wireBits = tx.wireBits;
-        backend.send(tx.sender, msg, [&, wireBits](
-                                         const bus::TxResult &r) {
+        // With a retry policy the callback sees only the *terminal*
+        // result of the attempt chain; disabled, this is a plain
+        // backend.send().
+        fault::sendWithRetry(
+            backend, simulator, tx.sender, std::move(msg), spec.retry,
+            retryStats, [&, wireBits](const bus::TxResult &r) {
             switch (r.status) {
             case bus::TxStatus::Ack: ++st.acked; break;
             case bus::TxStatus::Nak: ++st.naked; break;
             case bus::TxStatus::Broadcast: ++st.broadcasts; break;
             case bus::TxStatus::Interrupted: ++st.interrupted; break;
             case bus::TxStatus::RxAbort: ++st.rxAborts; break;
+            case bus::TxStatus::Reset:
+                ++st.failed;
+                ++st.txResets;
+                break;
             default: ++st.failed; break;
             }
             if (r.status == bus::TxStatus::Ack ||

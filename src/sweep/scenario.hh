@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "backend/backend.hh"
+#include "fault/fault.hh"
+#include "fault/retry.hh"
 #include "sim/types.hh"
 #include "workload/workload.hh"
 
@@ -81,6 +83,23 @@ struct ScenarioSpec
      * wedge guard is raised to cover the mix duration automatically.
      */
     workload::WorkloadSpec workload;
+
+    /**
+     * Physical-layer fault schedule (a sweep grid axis). When it has
+     * entries, a FaultEngine compiled on the cell seed perturbs the
+     * fabric (stuck segments, glitches, edge drops, clock drift,
+     * brownouts) and the per-fabric watchdog is armed. Default: off,
+     * and the cell's bytes are identical to a pre-fault-engine run.
+     */
+    fault::FaultSpec faults;
+
+    /**
+     * Retry policy for classic (non-workload) traffic: failed sends
+     * re-attempt with exponential backoff, and recovered/abandoned
+     * counts flow into the stats. Workload cells configure this per
+     * actor (ActorSpec::retry) instead.
+     */
+    fault::RetryPolicy retry;
 };
 
 /** Deterministic per-run reduction of one scenario. */
@@ -151,6 +170,25 @@ struct ScenarioStats
     int faultsInjected = 0;
     int faultsRecovered = 0;
     int retimings = 0;
+
+    // Fault injection and recovery (populated when spec.faults has
+    // entries and/or a retry policy is active; zero otherwise).
+    int faultEvents = 0;        ///< Fault primitives applied.
+    std::uint64_t busResets = 0; ///< Watchdog/bus force-resets.
+    int txResets = 0;   ///< Sends killed with TxStatus::Reset
+                        ///< (also counted in `failed`).
+    std::uint64_t retries = 0; ///< Re-sends the retry policy issued.
+    int recoveredTx = 0;       ///< Failed at least once, delivered.
+    int abandonedTx = 0;       ///< Retries exhausted, still failed.
+    double recoveryP50S = 0;   ///< Time-to-recovery percentiles
+    double recoveryP95S = 0;   ///< (first failure to delivery) over
+    double recoveryP99S = 0;   ///< the recovered transactions.
+
+    // Delivery-side outcome counts (satellite: pipe-packed into one
+    // sweep column as ok|interrupted|overflow|reset).
+    int deliveredOk = 0;          ///< Complete, clean deliveries.
+    int deliveredInterrupted = 0; ///< Truncated (interjected) ones.
+    int deliveredOverflow = 0;    ///< Receiver overflow aborts.
 
     // Waveform identity.
     std::size_t vcdBytes = 0;  ///< Length of the VCD dump.

@@ -5,6 +5,9 @@
 #include <charconv>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
 #include <sstream>
 #include <thread>
 
@@ -90,6 +93,12 @@ SweepResult::aggregate() const
             static_cast<std::uint64_t>(s.missedDeadlines);
         a.faultsInjected += static_cast<std::uint64_t>(s.faultsInjected);
         a.retimings += static_cast<std::uint64_t>(s.retimings);
+        a.faultEvents += static_cast<std::uint64_t>(s.faultEvents);
+        a.busResets += s.busResets;
+        a.txResets += static_cast<std::uint64_t>(s.txResets);
+        a.retriesUsed += s.retries;
+        a.recoveredTx += static_cast<std::uint64_t>(s.recoveredTx);
+        a.abandonedTx += static_cast<std::uint64_t>(s.abandonedTx);
         if (s.goodputBps > 0) {
             goodputSum += s.goodputBps;
             ++goodputCells;
@@ -152,7 +161,8 @@ SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
     os << "index,name,nodes,clock_hz,hop_delay_ns,wire_length_mm,"
           "wire_cap_f_per_mm,payload_bytes,messages,lanes,"
           "traffic,gated,full_addr,priority_rate,interject_rate,"
-          "time_limit_ps,edge_trains,backend,seed,"
+          "time_limit_ps,edge_trains,backend,fault_spec,max_retries,"
+          "seed,"
           "planned,acked,naked,broadcast,interrupted,rx_abort,failed,"
           "mismatches,wedged,bytes_delivered,tx_per_s,goodput_bps,events,"
           "events_per_bit,train_edges,dispatch_calls,clock_cycles,"
@@ -165,7 +175,10 @@ SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
           "vcd_bytes,vcd_hash,"
           "workload,samples_planned,samples_delivered,"
           "missed_deadlines,storm_interjections,gate_windows,faults,"
-          "faults_recovered,retimings,actor_names,actor_samples,"
+          "faults_recovered,retimings,"
+          "fault_events,bus_resets,tx_resets,retries_used,"
+          "recovered_tx,abandoned_tx,recovery_p50_s,recovery_p95_s,"
+          "recovery_p99_s,outcome_counts,actor_names,actor_samples,"
           "actor_missed,actor_lat_p50_s,actor_lat_p95_s,"
           "actor_lat_p99_s,actor_energy_per_sample_j,"
           "actor_duty_cycle";
@@ -187,6 +200,11 @@ SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
            << fmt(p.priorityRate) << ',' << fmt(p.interjectRate) << ','
            << p.timeLimit << ',' << (p.edgeTrains ? 1 : 0) << ','
            << backend::backendKindName(p.backend) << ','
+           << (p.faults.enabled()
+                   ? (p.faults.name.empty() ? std::string("on")
+                                            : sanitizeName(p.faults.name))
+                   : std::string("-"))
+           << ',' << p.retry.maxRetries << ','
            << c.seed << ',' << s.planned << ',' << s.acked << ','
            << s.naked << ',' << s.broadcasts << ',' << s.interrupted
            << ',' << s.rxAborts << ',' << s.failed << ','
@@ -211,6 +229,15 @@ SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
            << ',' << s.missedDeadlines << ',' << s.stormInterjections
            << ',' << s.gateWindows << ',' << s.faultsInjected << ','
            << s.faultsRecovered << ',' << s.retimings << ','
+           << s.faultEvents << ',' << s.busResets << ','
+           << s.txResets << ',' << s.retries << ','
+           << s.recoveredTx << ',' << s.abandonedTx << ','
+           << fmt(s.recoveryP50S) << ',' << fmt(s.recoveryP95S) << ','
+           << fmt(s.recoveryP99S) << ','
+           // ok|interrupted|overflow|reset: the pipe-packed
+           // delivery/abort outcome census.
+           << s.deliveredOk << '|' << s.deliveredInterrupted << '|'
+           << s.deliveredOverflow << '|' << s.txResets << ','
            << packActors(s.actorStats,
                          [](const workload::ActorStats &a) {
                              // Per-name sanitizing: '|' is this
@@ -294,6 +321,12 @@ SweepResult::writeJson(std::ostream &os, bool includeWallTime) const
        << ", \"missed_deadlines\": " << a.missedDeadlines
        << ", \"faults\": " << a.faultsInjected
        << ", \"retimings\": " << a.retimings
+       << ", \"fault_events\": " << a.faultEvents
+       << ", \"bus_resets\": " << a.busResets
+       << ", \"tx_resets\": " << a.txResets
+       << ", \"retries_used\": " << a.retriesUsed
+       << ", \"recovered_tx\": " << a.recoveredTx
+       << ", \"abandoned_tx\": " << a.abandonedTx
        << ", \"per_node_edges\": \"" << packPerNode(a.perNodeEdges)
        << "\"},\n  \"cells\": [\n";
     for (std::size_t i = 0; i < cells_.size(); ++i) {
@@ -315,7 +348,16 @@ SweepResult::writeJson(std::ostream &os, bool includeWallTime) const
            << ", \"lat_p99_s\": " << fmt(s.latencyP99S)
            << ", \"per_node_edges\": \"" << packPerNode(s.perNodeEdges)
            << "\", \"switching_j\": " << fmt(s.switchingJ)
-           << ", \"wedged\": " << (s.wedged ? "true" : "false");
+           << ", \"wedged\": " << (s.wedged ? "true" : "false")
+           << ", \"fault_events\": " << s.faultEvents
+           << ", \"bus_resets\": " << s.busResets
+           << ", \"tx_resets\": " << s.txResets
+           << ", \"retries_used\": " << s.retries
+           << ", \"recovered_tx\": " << s.recoveredTx
+           << ", \"abandoned_tx\": " << s.abandonedTx
+           << ", \"outcome_counts\": \"" << s.deliveredOk << '|'
+           << s.deliveredInterrupted << '|' << s.deliveredOverflow
+           << '|' << s.txResets << "\"";
         if (!s.actorStats.empty()) {
             os << ", \"workload\": \""
                << sanitizeName(c.spec.workload.name)
@@ -348,6 +390,55 @@ SweepResult::writeJson(std::ostream &os, bool includeWallTime) const
         os << "}" << (i + 1 < cells_.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
+}
+
+namespace {
+
+/**
+ * Crash-safe emission: write to `path + ".tmp"`, flush, and only
+ * rename into place on a clean close. rename(2) within a directory
+ * is atomic, so readers (and a re-run after a kill) see either the
+ * previous complete file or the new complete file, never a torn one.
+ */
+bool
+atomicWrite(const std::string &path,
+            const std::function<void(std::ostream &)> &emit)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return false;
+        emit(os);
+        os.flush();
+        if (!os.good())
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+SweepResult::writeCsvFile(const std::string &path,
+                          bool includeWallTime) const
+{
+    return atomicWrite(path, [&](std::ostream &os) {
+        writeCsv(os, includeWallTime);
+    });
+}
+
+bool
+SweepResult::writeJsonFile(const std::string &path,
+                           bool includeWallTime) const
+{
+    return atomicWrite(path, [&](std::ostream &os) {
+        writeJson(os, includeWallTime);
+    });
 }
 
 std::uint64_t

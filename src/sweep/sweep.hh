@@ -92,6 +92,15 @@ struct SweepAggregate
     std::uint64_t missedDeadlines = 0;
     std::uint64_t faultsInjected = 0;
     std::uint64_t retimings = 0;
+
+    // Physical-fault survivability reductions (zero unless cells
+    // carry a FaultSpec and/or retry policies).
+    std::uint64_t faultEvents = 0;
+    std::uint64_t busResets = 0;
+    std::uint64_t txResets = 0;
+    std::uint64_t retriesUsed = 0;
+    std::uint64_t recoveredTx = 0;
+    std::uint64_t abandonedTx = 0;
 };
 
 /** The aggregated outcome of one sweep. */
@@ -116,6 +125,21 @@ class SweepResult
 
     /** JSON emission: {config, aggregate, cells:[...]}. */
     void writeJson(std::ostream &os, bool includeWallTime = false) const;
+
+    /**
+     * Crash-safe CSV emission: the bytes go to `path + ".tmp"` and
+     * the file is atomically renamed into place only after a clean
+     * close, so a killed sweep never leaves a truncated report where
+     * a complete one is expected.
+     *
+     * @return true when the rename landed.
+     */
+    bool writeCsvFile(const std::string &path,
+                      bool includeWallTime = false) const;
+
+    /** Crash-safe JSON emission (same temp-file + rename contract). */
+    bool writeJsonFile(const std::string &path,
+                       bool includeWallTime = false) const;
 
     /** FNV-1a over the deterministic CSV bytes. */
     std::uint64_t fingerprint() const;

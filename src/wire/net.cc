@@ -130,6 +130,13 @@ Net::applyVisible(bool v)
 {
     if (value_ == v)
         return;
+    if (dropPending_ > 0 && !forced_) {
+        // Swallow the leading transition; the complementary return
+        // edge then matches the stale value_ and no-ops, so the
+        // whole pulse vanishes downstream (runt absorption).
+        --dropPending_;
+        return;
+    }
     value_ = v;
     if (forced_)
         return; // Changes hidden behind a force; counters idle too.

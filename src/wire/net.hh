@@ -253,6 +253,18 @@ class Net : private sim::EdgeSink
     bool forced() const { return forced_; }
 
     /**
+     * Fault injection: swallow the next @p pulses whole pulses. A
+     * swallowed pulse loses both its leading transition and the
+     * complementary return edge (the visible value never moves) --
+     * the signature of a runt pulse dying on a lossy segment. No
+     * listener, counter, or trace sees it.
+     */
+    void dropEdges(std::uint32_t pulses) { dropPending_ += pulses; }
+
+    /** Pulses still queued to be swallowed. */
+    std::uint32_t dropsPending() const { return dropPending_; }
+
+    /**
      * Opt in to edge-train batching: rhythmic alternating drive runs
      * coalesce into speculative kernel trains of up to @p maxEdges
      * edges each. Requires a non-zero propagation delay (confirmation
@@ -323,6 +335,7 @@ class Net : private sim::EdgeSink
 
     bool forced_ = false;
     bool forcedValue_ = false;
+    std::uint32_t dropPending_ = 0; ///< Whole pulses to swallow.
 
     std::uint64_t risingEdges_ = 0;
     std::uint64_t fallingEdges_ = 0;

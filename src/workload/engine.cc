@@ -47,6 +47,7 @@ struct RunState
     const std::vector<PlannedOp> *plan = nullptr;
 
     WorkloadRunStats stats;
+    fault::RetryStats retry; ///< Pooled over every actor's policy.
     std::vector<bool> offline; ///< Faulted or gate-windowed, by node.
     std::vector<std::uint64_t> nodeBytesIssued;
     std::multiset<std::vector<std::uint8_t>> expected;
@@ -175,8 +176,11 @@ RunState::execSend(const PlannedOp &op)
     const ActorSpec &aspec = spec->actors[actorIdx];
     bool dutyCycled = aspec.dutyCycled;
     std::size_t node = op.node;
-    backend->send(
-        op.node, msg,
+    // Terminal status only: with a retry policy the attempt chain is
+    // invisible here; disabled, this is a plain backend->send().
+    fault::sendWithRetry(
+        *backend, *simulator, op.node, std::move(msg), aspec.retry,
+        retry,
         [this, op, issuedAt, wireBits, dutyCycled, node,
          key](const bus::TxResult &r) {
             --outstanding;
@@ -192,6 +196,10 @@ RunState::execSend(const PlannedOp &op)
                 ++stats.interrupted;
                 break;
             case bus::TxStatus::RxAbort: ++stats.rxAborts; break;
+            case bus::TxStatus::Reset:
+                ++stats.failed;
+                ++stats.txResets;
+                break;
             default: ++stats.failed; break;
             }
             if (ok) {
@@ -258,8 +266,14 @@ RunState::finishSample(const PlannedOp &op, SampleState &ss)
 void
 RunState::onDelivery(const bus::ReceivedMessage &rx)
 {
-    if (rx.interjected)
+    if (rx.interjected) {
+        ++stats.deliveredInterrupted;
         return; // Truncated by design; content untrusted.
+    }
+    if (rx.error == bus::LocalError::RecvOverflow)
+        ++stats.deliveredOverflow;
+    else if (rx.error == bus::LocalError::None)
+        ++stats.deliveredOk;
     stats.bytesDelivered += rx.payload.size();
     auto it = expected.find(rx.payload);
     if (it == expected.end())
@@ -358,6 +372,11 @@ WorkloadEngine::drive(backend::BusBackend &backend,
         if (simS > 0)
             as.dutyCycle = backend.poweredSeconds(node) / simS;
     }
+
+    rs.stats.retries = rs.retry.retries;
+    rs.stats.recoveredTx = rs.retry.recoveredTx;
+    rs.stats.abandonedTx = rs.retry.abandonedTx;
+    rs.stats.recoveryS = std::move(rs.retry.recoveryS);
     return rs.stats;
 }
 

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/retry.hh"
 #include "sim/types.hh"
 
 namespace mbus {
@@ -95,6 +96,11 @@ struct ActorSpec
      *  when extracting an actor into a solo spec so it draws the
      *  identical plan (stream independence). */
     int stream = -1;
+
+    /** Bounded-retry/backoff policy for this actor's sends (off by
+     *  default: maxRetries == 0 is a plain send). Recovery counts
+     *  flow into WorkloadRunStats and the sweep CSV. */
+    fault::RetryPolicy retry;
 };
 
 /** Globally scheduled disturbances. */
@@ -238,6 +244,20 @@ struct WorkloadRunStats
     int faultsInjected = 0;
     int faultsRecovered = 0;
     int retimings = 0;
+
+    // Physical-fault recovery bookkeeping (zero unless an actor has
+    // a retry policy and/or the fabric Reset-kills transfers).
+    int txResets = 0;          ///< Fragments killed with Reset
+                               ///< (also counted in `failed`).
+    std::uint64_t retries = 0; ///< Re-sends the retry policies issued.
+    int recoveredTx = 0;       ///< Failed at least once, delivered.
+    int abandonedTx = 0;       ///< Retries exhausted, still failed.
+    std::vector<double> recoveryS; ///< Per-recovery latencies.
+
+    // Delivery-side outcome counts (pipe-packed sweep column).
+    int deliveredOk = 0;
+    int deliveredInterrupted = 0;
+    int deliveredOverflow = 0;
 
     // Scenario-level latency pooling (per completed fragment).
     std::vector<double> txLatenciesS;

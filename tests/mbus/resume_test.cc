@@ -184,24 +184,27 @@ TEST(MutablePriority, RotationSharesTheBusFairly)
     system.enableRotatingPriority();
 
     int delivered[4] = {0, 0, 0, 0};
-    // The recursive senders must outlive the loop body.
+    // The recursive senders must outlive the loop body. The lambdas
+    // capture a raw pointer, not the shared_ptr itself -- a
+    // self-owning capture cycle would leak every closure.
     std::vector<std::shared_ptr<std::function<void()>>> floods;
     for (std::size_t sender = 1; sender <= 3; ++sender) {
         auto flood = std::make_shared<std::function<void()>>();
-        *flood = [&system, &delivered, sender, flood] {
+        auto *fn = flood.get();
+        *flood = [&system, &delivered, sender, fn] {
             bus::Message msg;
             msg.dest = bus::Address::shortAddr(1, bus::kFuMailbox);
             msg.payload.assign(8, 0x11);
             system.node(sender).send(
                 msg,
-                [&delivered, sender, flood](const bus::TxResult &r) {
+                [&delivered, sender, fn](const bus::TxResult &r) {
                     if (r.status == bus::TxStatus::Ack)
                         ++delivered[sender];
-                    (*flood)();
+                    (*fn)();
                 });
         };
-        floods.push_back(flood);
-        (*flood)();
+        floods.push_back(std::move(flood));
+        (*fn)();
     }
     simulator.run(simulator.now() + 500 * sim::kMillisecond);
 
