@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "sim/fsio.hh"
 #include "sim/simulator.hh"
 #include "wire/net.hh"
 
@@ -718,12 +719,10 @@ main(int argc, char **argv)
     runEntry << "}}";
     history.push_back(runEntry.str());
 
-    std::ofstream json(outPath);
-    if (!json) {
-        std::fprintf(stderr, "FAIL: cannot write %s\n",
-                     outPath.c_str());
-        return 1;
-    }
+    // This rewrites the accumulated trajectory file in place, so it
+    // goes through the crash-safe temp-file + rename writer: a kill
+    // mid-emission can never eat the history.
+    std::ostringstream json;
     json << "{\n  \"bench\": \"bench_kernel\",\n  \"mode\": \""
          << (smoke ? "smoke" : "full") << "\",\n  \"workloads\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -767,6 +766,11 @@ main(int argc, char **argv)
              << (i + 1 < history.size() ? ",\n" : "\n");
     }
     json << "  ]\n}\n";
+    if (!mbus::sim::atomicWriteFile(outPath, json.str())) {
+        std::fprintf(stderr, "FAIL: cannot write %s\n",
+                     outPath.c_str());
+        return 1;
+    }
     std::printf("\nwrote %s (%zu run%s in history)\n", outPath.c_str(),
                 history.size(), history.size() == 1 ? "" : "s");
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fsio.hh"
 #include "sim/simulator.hh"
 #include "sweep/scenario.hh"
 #include "wire/net.hh"
@@ -74,11 +75,8 @@ appendRunEntry(const std::string &path, const std::string &entry)
     if (runsAt == lines.size()) {
         if (!lines.empty())
             return false; // Unrecognized layout; refuse to clobber.
-        std::ofstream out(path);
-        if (!out)
-            return false;
-        out << "{\n  \"runs\": [\n    " << entry << "\n  ]\n}\n";
-        return out.good();
+        return sim::atomicWriteFile(
+            path, "{\n  \"runs\": [\n    " + entry + "\n  ]\n}\n");
     }
     std::size_t closeAt = lines.size();
     bool hasEntries = false;
@@ -102,12 +100,12 @@ appendRunEntry(const std::string &path, const std::string &entry)
     }
     lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(closeAt),
                  "    " + entry);
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    for (const std::string &l : lines)
-        out << l << "\n";
-    return out.good();
+    // Rewriting history in place: go through the temp-file + atomic
+    // rename path so a kill mid-write can never eat the trajectory.
+    return sim::atomicWriteFile(path, [&](std::ostream &out) {
+        for (const std::string &l : lines)
+            out << l << "\n";
+    });
 }
 
 /**

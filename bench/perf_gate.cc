@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "sim/fsio.hh"
 #include "sweep/sweep.hh"
 
 using namespace mbus;
@@ -209,14 +210,21 @@ main(int argc, char **argv)
         {"firmware_mix_dispatch", fwMix.dispatchPerBit});
 
     if (!writePath.empty()) {
-        std::ofstream out(writePath);
-        out << "{\n";
-        for (std::size_t i = 0; i < metrics.size(); ++i) {
-            out << "  \"" << metrics[i].name
-                << "\": " << metrics[i].value
-                << (i + 1 < metrics.size() ? ",\n" : "\n");
+        bool ok = mbus::sim::atomicWriteFile(
+            writePath, [&](std::ostream &out) {
+                out << "{\n";
+                for (std::size_t i = 0; i < metrics.size(); ++i) {
+                    out << "  \"" << metrics[i].name
+                        << "\": " << metrics[i].value
+                        << (i + 1 < metrics.size() ? ",\n" : "\n");
+                }
+                out << "}\n";
+            });
+        if (!ok) {
+            std::fprintf(stderr, "FAIL: could not write %s\n",
+                         writePath.c_str());
+            return 1;
         }
-        out << "}\n";
         std::printf("wrote baseline %s\n", writePath.c_str());
         return 0;
     }

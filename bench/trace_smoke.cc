@@ -1,0 +1,175 @@
+/**
+ * @file
+ * CI observability smoke: a traced faulty grid spanning all five
+ * fabrics runs on 2 worker threads and is re-run single-threaded,
+ * with the trace determinism contract checked end to end (per-cell
+ * Chrome JSON byte identity + equal sweep fingerprints, the new
+ * trace/metrics CSV columns included). A deliberately wedged cell
+ * (time limit far below its traffic) then must produce a
+ * flight-recorder dump naming its stalled transaction. The traced
+ * cell 0's JSON lands next to the CSV via the crash-safe writer, so
+ * CI can upload a Perfetto-loadable artifact from every run. Exits
+ * non-zero on any divergence.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "sim/fsio.hh"
+#include "sim/random.hh"
+#include "sweep/sweep.hh"
+
+using namespace mbus;
+
+namespace {
+
+const backend::BackendKind kFabrics[] = {
+    backend::BackendKind::Mbus,      backend::BackendKind::I2cStd,
+    backend::BackendKind::I2cOracle, backend::BackendKind::Bitbang,
+    backend::BackendKind::Firmware,
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *out = "trace_smoke.csv";
+    const char *traceOut = "trace_smoke_cell0.json";
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0)
+            out = argv[i + 1];
+        if (std::strcmp(argv[i], "--trace-out") == 0)
+            traceOut = argv[i + 1];
+    }
+
+    benchutil::banner(
+        "Trace smoke: deterministic observability on five fabrics",
+        "protocol tracer + flight recorder self-check (CI gate)");
+
+    sim::Random rng(0x7124CE00ULL);
+    std::vector<sweep::ScenarioSpec> grid;
+    for (std::size_t i = 0; i < 25; ++i) {
+        sweep::ScenarioSpec s;
+        s.name = "trace_smoke" + std::to_string(i);
+        s.backend = kFabrics[i % 5];
+        s.nodes = static_cast<int>(rng.between(3, 6));
+        s.payloadBytes = rng.below(9);
+        s.messages = static_cast<int>(rng.between(2, 4));
+        s.traffic = static_cast<sweep::TrafficPattern>(rng.below(4));
+        s.powerGated = rng.chance(0.3);
+        s.interjectRate = rng.chance(0.5) ? 0.4 : 0.0;
+        s.retry.maxRetries = static_cast<int>(rng.below(3));
+        s.retry.backoffEpochs = 8;
+
+        fault::FaultEntry e;
+        e.kind = static_cast<fault::FaultKind>(rng.below(6));
+        e.count = 1 + static_cast<int>(rng.below(2));
+        e.endS = 1.5e-3;
+        e.durationS = 1e-4 + 9e-4 * rng.uniform();
+        e.jitterFrac = 0.3;
+        e.pulses = 1 + static_cast<int>(rng.below(4));
+        e.driftFrac = 0.05;
+        s.faults.name = "smoke";
+        s.faults.watchdogEpochs = 32;
+        s.faults.entries.push_back(e);
+
+        s.trace.protocol = true;
+        s.trace.flight = true;
+        grid.push_back(std::move(s));
+    }
+
+    sweep::SweepConfig sharded;
+    sharded.threads = 2;
+    sweep::SweepConfig solo;
+    solo.threads = 1;
+    sweep::SweepResult a = sweep::SweepDriver(sharded).run(grid);
+    sweep::SweepResult b = sweep::SweepDriver(solo).run(grid);
+
+    bool ok = true;
+    std::uint64_t events = 0, dumps = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const sweep::ScenarioStats &sa = a.cell(i).stats;
+        const sweep::ScenarioStats &sb = b.cell(i).stats;
+        events += sa.traceEvents;
+        dumps += sa.flightDumps.size();
+        if (sa.traceJson != sb.traceJson ||
+            sa.traceHash != sb.traceHash ||
+            sa.flightDumps != sb.flightDumps) {
+            std::fprintf(stderr,
+                         "FAIL: cell %zu trace diverged between 2 "
+                         "threads and 1\n",
+                         i);
+            ok = false;
+        }
+        if (sa.traceEvents == 0) {
+            std::fprintf(stderr, "FAIL: cell %zu recorded no events\n",
+                         i);
+            ok = false;
+        }
+    }
+    std::ostringstream csvA, csvB;
+    a.writeCsv(csvA);
+    b.writeCsv(csvB);
+    if (csvA.str() != csvB.str() ||
+        a.fingerprint() != b.fingerprint()) {
+        std::fprintf(stderr,
+                     "FAIL: sweep CSV/fingerprint diverged across "
+                     "thread counts\n");
+        ok = false;
+    }
+    std::printf("grid: %zu cells, %llu trace events, %llu flight "
+                "dumps, fingerprint %016llx\n",
+                a.size(), static_cast<unsigned long long>(events),
+                static_cast<unsigned long long>(dumps),
+                static_cast<unsigned long long>(a.fingerprint()));
+
+    // Forced wedge: a cell whose time limit cannot cover its traffic
+    // must trip the wedge guard and dump the stalled transaction.
+    sweep::ScenarioSpec wedged = grid[0];
+    wedged.name = "forced_wedge";
+    wedged.faults = fault::FaultSpec{};
+    wedged.messages = 8;
+    wedged.payloadBytes = 16;
+    wedged.timeLimit = 40 * sim::kMicrosecond;
+    sweep::CellResult w =
+        sweep::SweepDriver(solo).runCell(wedged, 0);
+    if (!w.stats.wedged) {
+        std::fprintf(stderr, "FAIL: forced-wedge cell did not wedge\n");
+        ok = false;
+    } else if (w.stats.flightDumps.empty()) {
+        std::fprintf(stderr,
+                     "FAIL: wedged cell produced no flight dump\n");
+        ok = false;
+    } else {
+        const std::string &d = w.stats.flightDumps.back();
+        if (d.find("wedge-guard") == std::string::npos ||
+            d.find("tx#") == std::string::npos) {
+            std::fprintf(stderr,
+                         "FAIL: wedge dump does not name the stalled "
+                         "transaction:\n%s",
+                         d.c_str());
+            ok = false;
+        } else {
+            std::printf("forced wedge: dump names the stalled "
+                        "transaction (ok)\n");
+        }
+    }
+
+    if (!a.writeCsvFile(out)) {
+        std::fprintf(stderr, "FAIL: could not write %s\n", out);
+        ok = false;
+    }
+    // The Perfetto-loadable artifact CI uploads.
+    if (!sim::atomicWriteFile(traceOut, a.cell(0).stats.traceJson)) {
+        std::fprintf(stderr, "FAIL: could not write %s\n", traceOut);
+        ok = false;
+    }
+    std::printf("wrote %s and %s\n", out, traceOut);
+    std::printf(ok ? "TRACE SMOKE OK\n" : "TRACE SMOKE FAILED\n");
+    return ok ? 0 : 1;
+}

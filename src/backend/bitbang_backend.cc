@@ -7,6 +7,7 @@
 #include "mbus/system.hh"
 #include "power/constants.hh"
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace mbus {
 namespace backend {
@@ -552,6 +553,9 @@ BitbangBackend::watchdogPoll()
     if (busy && wdLastBusy_ &&
         (progress == wdLastProgress_ || (asleep && wdLastAsleep_))) {
         ++busResets_;
+        if (auto *t = sim_.tracer())
+            t->record(trace::EventKind::WatchdogRescue, 0,
+                      static_cast<std::int64_t>(busResets_));
         mediator_->forceInterjection();
     }
     wdLastBusy_ = busy;

@@ -4,6 +4,7 @@
 
 #include "power/constants.hh"
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace mbus {
 namespace backend {
@@ -110,6 +111,11 @@ I2cBackend::pump()
         ++epoch_;
         bytesDone_ = 0;
         setBusy(true);
+        if (auto *t = sim_.tracer())
+            t->beginTx(static_cast<int>(current_.node),
+                       current_.msg.dest.encoded(),
+                       static_cast<std::int32_t>(
+                           current_.msg.payload.size()));
         startActive();
     });
 }
@@ -140,6 +146,10 @@ I2cBackend::startActive()
     if (!isBroadcast && dest < nodes_.size() &&
         nodes_[dest].gated && nodes_[dest].asleep) {
         stretch = kI2cWakeStretchCycles;
+        if (auto *t = sim_.tracer())
+            t->record(trace::EventKind::ClockStretch,
+                      static_cast<int>(dest),
+                      static_cast<std::int64_t>(stretch));
         ledger_.charge(dest, power::EnergyCategory::SegmentClk,
                        static_cast<double>(stretch) * 2.0 *
                            model_.lowPhaseLossJ(clockHz_));
@@ -206,6 +216,11 @@ I2cBackend::finishActive(bus::TxStatus status, std::size_t bytesDone)
     setBusy(false);
     --nodes_[tx.node].pending;
 
+    if (auto *t = sim_.tracer())
+        t->endTx(static_cast<int>(tx.node),
+                 static_cast<std::int64_t>(status),
+                 static_cast<std::int32_t>(bytesDone));
+
     if (tx.internal) {
         // Retime carrier: apply the new clock at STOP, like the MBus
         // config broadcast taking effect at end of message.
@@ -241,12 +256,24 @@ I2cBackend::finishActive(bus::TxStatus status, std::size_t bytesDone)
             for (std::size_t i = 0; i < nodes_.size(); ++i) {
                 if (i == tx.node || nodes_[i].asleep || browned_[i])
                     continue;
+                if (auto *t = sim_.tracer())
+                    t->record(trace::EventKind::Delivery,
+                              static_cast<int>(i),
+                              static_cast<std::int64_t>(
+                                  rx.payload.size()),
+                              rx.interjected ? 1 : 0);
                 sim_.schedule(0, [h, i, rx] { h(i, rx); });
             }
         } else {
             std::size_t dest = resolveDest(tx.msg.dest);
             if (dest < nodes_.size()) {
                 DeliveryHandler h = handler_;
+                if (auto *t = sim_.tracer())
+                    t->record(trace::EventKind::Delivery,
+                              static_cast<int>(dest),
+                              static_cast<std::int64_t>(
+                                  rx.payload.size()),
+                              rx.interjected ? 1 : 0);
                 sim_.schedule(0, [h, dest, rx] { h(dest, rx); });
             }
         }
@@ -264,11 +291,14 @@ I2cBackend::finishActive(bus::TxStatus status, std::size_t bytesDone)
 }
 
 void
-I2cBackend::interject(std::size_t)
+I2cBackend::interject(std::size_t node)
 {
     if (!active_)
         return; // Nothing in flight to stomp.
     ++aborts_;
+    if (auto *t = sim_.tracer())
+        t->record(trace::EventKind::InterjectRequest,
+                  static_cast<int>(node));
     finishActive(bus::TxStatus::Interrupted, bytesDone_);
 }
 
@@ -388,6 +418,9 @@ I2cBackend::watchdogPoll()
     // two whole poll intervals while a transfer claims the bus.
     if (active_ && wdLastActive_ && cycles_ == wdLastCycles_) {
         ++busResets_;
+        if (auto *t = sim_.tracer())
+            t->record(trace::EventKind::WatchdogRescue, 0,
+                      static_cast<std::int64_t>(busResets_));
         finishActive(bus::TxStatus::Reset, bytesDone_);
     }
     wdLastActive_ = active_;
@@ -406,6 +439,9 @@ I2cBackend::sleep(std::size_t node)
         return;
     n.poweredAccum += sim_.now() - n.awakeSince;
     n.asleep = true;
+    if (auto *t = sim_.tracer())
+        t->record(trace::EventKind::PowerGateOff,
+                  static_cast<int>(node));
     if (recorder_)
         recorder_->record(awakeIds_[node], sim_.now(), false);
 }
@@ -418,6 +454,9 @@ I2cBackend::wake(std::size_t node)
         return;
     n.asleep = false;
     n.awakeSince = sim_.now();
+    if (auto *t = sim_.tracer())
+        t->record(trace::EventKind::PowerGateOn,
+                  static_cast<int>(node));
     if (recorder_)
         recorder_->record(awakeIds_[node], sim_.now(), true);
 }

@@ -5,6 +5,7 @@
 
 #include "mbus/layer_controller.hh"
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace mbus {
 namespace backend {
@@ -343,6 +344,9 @@ MbusBackend::watchdogPoll()
     if (busy && wdLastBusy_ &&
         (progress == wdLastProgress_ || (asleep && wdLastAsleep_))) {
         ++busResets_;
+        if (auto *t = system_->simulator().tracer())
+            t->record(trace::EventKind::WatchdogRescue, 0,
+                      static_cast<std::int64_t>(busResets_));
         system_->mediator().forceInterjection();
     }
     wdLastBusy_ = busy;

@@ -4,6 +4,7 @@
 
 #include "mbus/protocol.hh"
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace mbus {
 namespace bitbang {
@@ -243,8 +244,18 @@ BitbangMbus::clkIsrBody(bool level)
                         result.arbitrationRetries =
                             tx.attempts > 0 ? tx.attempts - 1 : 0;
                         result.completedAt = sim_.now();
+                        if (auto *t = sim_.tracer())
+                            t->endTx(
+                                static_cast<int>(cfg_.shortPrefix) - 1,
+                                static_cast<std::int64_t>(
+                                    result.status),
+                                static_cast<std::int32_t>(
+                                    result.bytesSent));
                         auto cb = std::move(tx.cb);
                         sim_.schedule(0, [cb, result] { cb(result); });
+                    } else if (auto *t = sim_.tracer()) {
+                        t->endTx(
+                            static_cast<int>(cfg_.shortPrefix) - 1, -1);
                     }
                 }
                 if (role_ == Role::Rx && rxCb_) {
@@ -267,6 +278,13 @@ BitbangMbus::clkIsrBody(bool level)
                                 : (eom ? bus::LocalError::None
                                        : bus::LocalError::Interrupted);
                         rx.receivedAt = sim_.now();
+                        if (auto *t = sim_.tracer())
+                            t->record(
+                                trace::EventKind::Delivery,
+                                static_cast<int>(cfg_.shortPrefix) - 1,
+                                static_cast<std::int64_t>(
+                                    rx.payload.size()),
+                                rx.interjected ? 1 : 0);
                         auto cb = rxCb_;
                         sim_.schedule(0, [cb, rx] { cb(rx); });
                     }
@@ -340,6 +358,15 @@ BitbangMbus::handleRising(bool dataAtIsr)
         if (wonArb_ || wonPriority_) {
             role_ = Role::Tx;
             const bus::Message &msg = txQueue_.front().msg;
+            if (auto *t = sim_.tracer()) {
+                t->beginTx(static_cast<int>(cfg_.shortPrefix) - 1,
+                           msg.dest.encoded(),
+                           static_cast<std::int32_t>(
+                               msg.payload.size()));
+                t->record(trace::EventKind::ArbWin,
+                          static_cast<int>(cfg_.shortPrefix) - 1,
+                          wonPriority_ ? 1 : 0);
+            }
             txBits_.clear();
             std::uint32_t enc = msg.dest.encoded();
             for (int i = msg.dest.bitCount() - 1; i >= 0; --i)
@@ -352,6 +379,11 @@ BitbangMbus::handleRising(bool dataAtIsr)
         } else {
             role_ = Role::Fwd;
             // Lost arbitration: retry from the next idle window.
+            if (requested_) {
+                if (auto *t = sim_.tracer())
+                    t->record(trace::EventKind::ArbLoss,
+                              static_cast<int>(cfg_.shortPrefix) - 1);
+            }
         }
         requested_ = false;
         return;
@@ -393,6 +425,15 @@ BitbangMbus::handleRising(bool dataAtIsr)
                            rxAddr_.shortPrefix() == cfg_.shortPrefix) {
                     role_ = Role::Rx;
                 }
+                if (role_ == Role::Rx) {
+                    if (auto *t = sim_.tracer())
+                        t->record(
+                            trace::EventKind::AddrPhase,
+                            static_cast<int>(cfg_.shortPrefix) - 1,
+                            static_cast<std::int64_t>(addrAccum_),
+                            static_cast<std::int32_t>(
+                                addrBitsExpected_));
+                }
             }
         }
         return;
@@ -409,6 +450,13 @@ BitbangMbus::handleRising(bool dataAtIsr)
             }
             rxBytes_.push_back(
                 static_cast<std::uint8_t>(rxBitBuffer_ & 0xFF));
+            if (rxBytes_.size() == 1) {
+                if (auto *t = sim_.tracer())
+                    t->record(trace::EventKind::DataPhase,
+                              static_cast<int>(cfg_.shortPrefix) - 1,
+                              static_cast<std::int64_t>(rxBitBuffer_ &
+                                                        0xFF));
+            }
             rxBitBuffer_ = 0;
             rxBitsPending_ = 0;
         }
@@ -420,6 +468,10 @@ BitbangMbus::requestInterjection(bool eom)
 {
     // Stop forwarding CLK: the mediator sees the held-high clock and
     // starts the control sequence (Sec 4.4).
+    if (auto *t = sim_.tracer())
+        t->record(trace::EventKind::InterjectRequest,
+                  static_cast<int>(cfg_.shortPrefix) - 1,
+                  eom ? 1 : 0);
     iAmInterjector_ = true;
     interjectorEom_ = eom;
     fwdClk_ = false;

@@ -16,6 +16,7 @@
 #include "backend/backend.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
+#include "trace/trace.hh"
 
 namespace mbus {
 namespace fault {
@@ -163,7 +164,16 @@ FaultEngine::arm(backend::BusBackend &backend, sim::Simulator &sim)
         backend::BusBackend *b = &backend;
         FaultEvent e = ev;
         int *injected = &injected_;
-        sim.schedule(delay, [b, e, injected] {
+        sim::Simulator *s = &sim;
+        sim.schedule(delay, [b, e, injected, s] {
+            if (auto *t = s->tracer())
+                t->record(e.op == FaultOp::BrownoutOff
+                              ? trace::EventKind::BrownoutRecover
+                              : e.op == FaultOp::BrownoutOn
+                                    ? trace::EventKind::Brownout
+                                    : trace::EventKind::FaultInject,
+                          static_cast<int>(e.node),
+                          static_cast<std::int64_t>(e.op), e.lane);
             switch (e.op) {
             case FaultOp::WireForce:
                 b->injectWireForce(e.node, e.lane, e.level);

@@ -10,6 +10,7 @@
 
 #include "backend/backend.hh"
 #include "sim/simulator.hh"
+#include "trace/trace.hh"
 
 namespace mbus {
 namespace fault {
@@ -66,6 +67,10 @@ launch(const std::shared_ptr<RetryAttempt> &a)
                 clock > 0 ? sim::fromSeconds(epochs / clock) : 0;
             ++a->attempt;
             ++a->stats->retries;
+            if (auto *t = a->sim->tracer())
+                t->record(trace::EventKind::RetryAttempt,
+                          static_cast<int>(a->node), a->attempt,
+                          static_cast<std::int32_t>(r.status));
             a->sim->schedule(delay, [a] { launch(a); });
             return;
         }
@@ -76,8 +81,15 @@ launch(const std::shared_ptr<RetryAttempt> &a)
                 ++a->stats->recoveredTx;
                 a->stats->recoveryS.push_back(sim::toSeconds(
                     a->sim->now() - a->firstFailAt));
+                if (auto *t = a->sim->tracer())
+                    t->record(trace::EventKind::RetryRecovered,
+                              static_cast<int>(a->node), a->attempt);
             } else {
                 ++a->stats->abandonedTx;
+                if (auto *t = a->sim->tracer())
+                    t->record(trace::EventKind::RetryAbandoned,
+                              static_cast<int>(a->node), a->attempt,
+                              static_cast<std::int32_t>(r.status));
             }
         }
         if (a->finalCb)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace mbus {
 namespace firmware {
@@ -211,6 +212,10 @@ FirmwareNode::pumpSend()
     PendingTx &front = txQueue_.front();
     ++front.attempts;
     ++stats_.requestsIssued;
+    if (auto *t = sim_.tracer())
+        t->beginTx(static_cast<int>(cfg_.shortPrefix) - 1,
+                   front.msg.dest.encoded(),
+                   static_cast<std::int32_t>(front.msg.payload.size()));
     fsm_->MBus_send(front.wire.data(), front.wire.size(),
                     front.msg.priority);
 }
@@ -273,7 +278,13 @@ FirmwareNode::onSendDone(std::size_t bytesSent, MBus_error_t err,
         result.arbitrationRetries =
             tx.attempts > 0 ? tx.attempts - 1 : 0;
         result.completedAt = sim_.now();
+        if (auto *t = sim_.tracer())
+            t->endTx(static_cast<int>(cfg_.shortPrefix) - 1,
+                     static_cast<std::int64_t>(result.status),
+                     static_cast<std::int32_t>(result.bytesSent));
         tx.cb(result);
+    } else if (auto *t = sim_.tracer()) {
+        t->endTx(static_cast<int>(cfg_.shortPrefix) - 1, -1);
     }
 }
 
@@ -306,6 +317,10 @@ FirmwareNode::onRecv(std::uint32_t addr, int addrBits,
         break;
     }
     rx.receivedAt = sim_.now();
+    if (auto *t = sim_.tracer())
+        t->record(trace::EventKind::Delivery,
+                  static_cast<int>(cfg_.shortPrefix) - 1,
+                  static_cast<std::int64_t>(len), eom ? 0 : 1);
     rxCb_(rx);
 }
 

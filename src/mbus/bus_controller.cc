@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace mbus {
 namespace bus {
@@ -97,6 +98,11 @@ BusController::onPowerLost()
 void
 BusController::powerFail()
 {
+    // The fault engine records the Brownout instant itself; here we
+    // just close the victim's open span so it pairs up in export.
+    if (auto *t = ctx_.sim.tracer())
+        t->endTx(ctx_.nodeId,
+                 static_cast<std::int64_t>(TxStatus::Reset));
     onPowerLost();
     std::deque<PendingTx> dead;
     dead.swap(txQueue_);
@@ -211,6 +217,13 @@ BusController::handleRising(std::uint32_t r)
             role_ = Role::Tx;
             if (wonPriority_)
                 ++stats_.priorityWins;
+            if (auto *t = ctx_.sim.tracer()) {
+                const Message &m = txQueue_.front().msg;
+                t->beginTx(ctx_.nodeId, m.dest.encoded(),
+                           static_cast<std::int32_t>(m.payload.size()));
+                t->record(trace::EventKind::ArbWin, ctx_.nodeId,
+                          wonPriority_ ? 1 : 0);
+            }
             prepareTxBits(txQueue_.front().msg);
         } else {
             role_ = Role::Fwd;
@@ -266,8 +279,13 @@ BusController::latchAddressBit(bool bit)
             static_cast<std::uint32_t>(addrAccum_ & 0xFFFFFFFFu));
         matched = rxAddr_.fullPrefix() == cfg_.fullPrefix;
     }
-    if (matched)
+    if (matched) {
         role_ = Role::Rx; // Layer wakeup begins on subsequent edges.
+        if (auto *t = ctx_.sim.tracer())
+            t->record(trace::EventKind::AddrPhase, ctx_.nodeId,
+                      static_cast<std::int64_t>(addrAccum_),
+                      static_cast<std::int32_t>(addrBitsExpected_));
+    }
 }
 
 void
@@ -309,6 +327,10 @@ BusController::commitRxByte(std::uint8_t byte)
         return;
     }
     rxBytes_.push_back(byte);
+    if (rxBytes_.size() == 1) {
+        if (auto *t = ctx_.sim.tracer())
+            t->record(trace::EventKind::DataPhase, ctx_.nodeId, byte);
+    }
 }
 
 void
@@ -420,6 +442,9 @@ BusController::requestInterjection(bool endOfMessage)
     wantInterject_ = false;
     phase_ = Phase::IntjWait;
     ++stats_.interjectionsRequested;
+    if (auto *t = ctx_.sim.tracer())
+        t->record(trace::EventKind::InterjectRequest, ctx_.nodeId,
+                  endOfMessage ? 1 : 0);
     if (ctx_.isMediatorHost && ctx_.medLink &&
         ctx_.medLink->requestInterjection) {
         // The host member shares its CLK drive point with the
@@ -459,6 +484,11 @@ BusController::onInterjectionDetected()
     controlBaseRising_ = ctx_.sleepCtl.risingCount();
     controlBaseFalling_ = ctx_.sleepCtl.fallingCount();
     ctlBit0_ = ctlBit1_ = false;
+    if (role_ == Role::Tx || role_ == Role::Rx) {
+        if (auto *t = ctx_.sim.tracer())
+            t->record(trace::EventKind::ControlPhase, ctx_.nodeId,
+                      iAmInterjector_ ? 1 : 0);
+    }
 
     // Switch role (Fig 7): release all holds, resume forwarding.
     // The mediator can only own the single shared DATA wire (lane
@@ -571,6 +601,10 @@ BusController::resolveOutcome()
         if (end_of_message || (abort_code && !rx.payload.empty())) {
             ++stats_.messagesReceived;
             stats_.bytesReceived += rx.payload.size();
+            if (auto *t = ctx_.sim.tracer())
+                t->record(trace::EventKind::Delivery, ctx_.nodeId,
+                          static_cast<std::int64_t>(rx.payload.size()),
+                          rx.interjected ? 1 : 0);
             // Delivery needs the layer active; if the message was so
             // short that wakeup edges ran out, the remaining rungs
             // complete on the idle edges (modelled as immediate).
@@ -599,6 +633,10 @@ BusController::completeCurrentTx(TxStatus status)
 {
     PendingTx tx = std::move(txQueue_.front());
     txQueue_.pop_front();
+
+    if (auto *t = ctx_.sim.tracer())
+        t->endTx(ctx_.nodeId, static_cast<std::int64_t>(status),
+                 static_cast<std::int32_t>(tx.msg.payload.size()));
 
     ++stats_.messagesSent;
     switch (status) {
@@ -646,6 +684,8 @@ BusController::requeueAfterArbLoss()
     if (txQueue_.empty())
         return;
     ++stats_.arbitrationLosses;
+    if (auto *t = ctx_.sim.tracer())
+        t->record(trace::EventKind::ArbLoss, ctx_.nodeId);
     PendingTx &tx = txQueue_.front();
     ++tx.retries;
     if (tx.cancelOnArbLoss) {

@@ -21,6 +21,8 @@ Node::Node(sim::Simulator &sim, const SystemConfig &sysCfg, NodeConfig cfg,
     layerDomain_ = std::make_unique<power::PowerDomain>(
         sim_, cfg_.name + ".layer",
         /*initiallyActive=*/!cfg_.powerGated);
+    busDomain_->setTraceTag(static_cast<int>(id_), 0);
+    layerDomain_->setTraceTag(static_cast<int>(id_), 1);
 }
 
 void

@@ -1,6 +1,7 @@
 #include "power/domain.hh"
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace mbus {
 namespace power {
@@ -40,6 +41,11 @@ PowerDomain::step()
       case State::Unisolated:
         noteStateChange(State::Active);
         ++wakeups_;
+        if (traceNode_ >= 0) {
+            if (auto *t = sim_.tracer())
+                t->record(trace::EventKind::PowerGateOn, traceNode_,
+                          traceTag_);
+        }
         if (onActive_)
             onActive_();
         break;
@@ -64,6 +70,11 @@ PowerDomain::shutdown()
     noteStateChange(State::Off);
     if (was_active) {
         ++shutdowns_;
+        if (traceNode_ >= 0) {
+            if (auto *t = sim_.tracer())
+                t->record(trace::EventKind::PowerGateOff, traceNode_,
+                          traceTag_);
+        }
         if (onShutdown_)
             onShutdown_();
     }

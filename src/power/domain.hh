@@ -86,6 +86,21 @@ class PowerDomain
         onShutdown_ = std::move(fn);
     }
 
+    /**
+     * Attribute this domain's gate transitions to a bus node in the
+     * protocol trace (trace/trace.hh): completed wakeups record
+     * PowerGateOn, shutdowns from Active record PowerGateOff, with
+     * @p tag (0 = bus controller domain, 1 = layer domain) as the
+     * event detail. Domains with no trace identity (the default)
+     * never emit.
+     */
+    void
+    setTraceTag(int node, int tag)
+    {
+        traceNode_ = node;
+        traceTag_ = tag;
+    }
+
     /** Number of completed wakeups. */
     std::uint64_t wakeupCount() const { return wakeups_; }
 
@@ -107,6 +122,9 @@ class PowerDomain
 
     std::uint64_t wakeups_ = 0;
     std::uint64_t shutdowns_ = 0;
+
+    int traceNode_ = -1; ///< Bus node for trace attribution (-1: none).
+    int traceTag_ = 0;
 
     sim::SimTime poweredAccum_ = 0;
     sim::SimTime lastChange_ = 0;

@@ -195,7 +195,8 @@ class EventQueue
         entrySeq_[slot] = seq;
         heap_.push_back(HeapEntry{when, seq, slot});
         siftUp(heap_.size() - 1);
-        ++live_;
+        if (++live_ > liveHighWater_)
+            liveHighWater_ = live_;
         return EventHandle(this, slot, seq);
     }
 
@@ -326,6 +327,12 @@ class EventQueue
     /** Scheduled callbacks whose closure spilled to the heap. */
     std::uint64_t heapCallbackCount() const { return heapCallbacks_; }
 
+    /** Peak simultaneous live events (slab occupancy high-water):
+     *  the sizing signal for the slab, surfaced through the metrics
+     *  registry. A train counts as one (speculative) or @c count
+     *  (self) live events, matching size(). */
+    std::uint64_t liveHighWater() const { return liveHighWater_; }
+
     // --- Train introspection ----------------------------------------
 
     /** Edge trains scheduled so far (both flavors). */
@@ -451,6 +458,8 @@ class EventQueue
         heap_.push_back(HeapEntry{firstWhen, seq, slot});
         siftUp(heap_.size() - 1);
         live_ += speculative ? 1 : count;
+        if (live_ > liveHighWater_)
+            liveHighWater_ = live_;
         pendingTrainEdges_ += count;
         ++trainsScheduled_;
         return EventHandle(this, slot, seq);
@@ -585,6 +594,7 @@ class EventQueue
     std::uint32_t freeHead_ = kNoSlot;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t live_ = 0;
+    std::uint64_t liveHighWater_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t slabGrowths_ = 0;
     std::uint64_t heapCallbacks_ = 0;

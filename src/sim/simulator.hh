@@ -22,6 +22,10 @@
 #include "sim/types.hh"
 
 namespace mbus {
+namespace trace {
+class Tracer;
+} // namespace trace
+
 namespace sim {
 
 /**
@@ -146,12 +150,32 @@ class Simulator
     /** Reseed the simulation's RNG stream (typically once, at setup). */
     void seedRng(std::uint64_t seed) { rng_ = Random(seed); }
 
+    /**
+     * The protocol tracer attached to this simulation, or nullptr --
+     * the common case. Tracing is strictly opt-in: runScenario()
+     * constructs a trace::Tracer only when the cell's TraceConfig
+     * asks for one, so with tracing off the only cost anywhere is
+     * this null check at each emission site:
+     *
+     *     if (auto *t = sim.tracer())
+     *         t->record(trace::EventKind::ArbWin, node);
+     *
+     * The tracer is purely observational (see trace/trace.hh); it
+     * never schedules events or draws randomness, so attaching one
+     * cannot change simulated behavior.
+     */
+    trace::Tracer *tracer() const { return tracer_; }
+
+    /** Attach (or detach, with nullptr) the protocol tracer. */
+    void setTracer(trace::Tracer *t) { tracer_ = t; }
+
   private:
     EventQueue queue_;
     StringInterner names_;
     Random rng_;
     SimTime now_ = 0;
     bool stopRequested_ = false;
+    trace::Tracer *tracer_ = nullptr;
 };
 
 } // namespace sim

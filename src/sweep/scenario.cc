@@ -167,6 +167,17 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
     sim::Simulator simulator;
     simulator.seedRng(seed);
 
+    // Zero-overhead-when-off: the tracer only exists when asked for.
+    // It observes (never schedules events, never draws RNG), so an
+    // enabled tracer cannot perturb the simulation either -- pinned
+    // by the trace-off golden-VCD test and the on/off identity test.
+    std::unique_ptr<trace::Tracer> tracer;
+    if (spec.trace.enabled()) {
+        tracer = std::make_unique<trace::Tracer>(simulator, spec.trace,
+                                                 spec.nodes);
+        simulator.setTracer(tracer.get());
+    }
+
     backend::BusParams params;
     params.nodes = spec.nodes;
     params.busClockHz = spec.busClockHz;
@@ -330,6 +341,67 @@ runScenario(const ScenarioSpec &spec, std::uint64_t seed)
         st.vcd = os.str();
         st.vcdBytes = st.vcd.size();
         st.vcdHash = fnv1a(st.vcd.data(), st.vcd.size());
+    }
+
+    st.slabSlots =
+        static_cast<std::uint64_t>(simulator.queue().slabSlots());
+    st.liveHighWater = simulator.queue().liveHighWater();
+    st.heapCallbacks = simulator.queue().heapCallbackCount();
+
+    if (tracer) {
+        // A wedge trips the flight recorder before export: the dump
+        // names whichever transactions were still open at the guard.
+        if (st.wedged)
+            tracer->trip("wedge-guard");
+        st.traceEvents = tracer->recorded();
+        if (spec.trace.protocol) {
+            st.traceJson = tracer->chromeJson();
+            st.traceHash =
+                fnv1a(st.traceJson.data(), st.traceJson.size());
+        }
+        st.flightDumps = tracer->dumps();
+
+        // Unified metrics snapshot: the ad-hoc taps above, plus the
+        // tracer's own counts, registered in one fixed order so the
+        // packed column is byte-stable.
+        trace::MetricsRegistry reg;
+        reg.counter("events_executed", st.eventsExecuted);
+        reg.counter("dispatch_calls", st.dispatchCalls);
+        reg.counter("train_edges", st.trainEdges);
+        reg.counter("trains_scheduled", st.trainsScheduled);
+        reg.counter("clock_cycles", st.clockCycles);
+        reg.counter("slab_slots", st.slabSlots);
+        reg.counter("slab_live_peak", st.liveHighWater);
+        reg.counter("heap_callbacks", st.heapCallbacks);
+        reg.counter("fault_events",
+                    static_cast<std::uint64_t>(st.faultEvents));
+        reg.counter("bus_resets", st.busResets);
+        reg.counter("retries", st.retries);
+        reg.counter("recovered_tx",
+                    static_cast<std::uint64_t>(st.recoveredTx));
+        reg.counter("abandoned_tx",
+                    static_cast<std::uint64_t>(st.abandonedTx));
+        reg.counter("trace_events", st.traceEvents);
+        reg.counter("flight_dumps", st.flightDumps.size());
+        reg.counter(
+            "watchdog_rescues",
+            tracer->countOf(trace::EventKind::WatchdogRescue));
+        reg.counter("arb_losses",
+                    tracer->countOf(trace::EventKind::ArbLoss));
+        reg.counter(
+            "interjections",
+            tracer->countOf(trace::EventKind::InterjectRequest));
+        reg.gauge("goodput_bps", st.goodputBps);
+        reg.gauge("energy_per_sample_j", st.energyPerSampleJ);
+        if (!st.txLatenciesS.empty())
+            reg.histogram("tx_latency_s", st.txLatenciesS);
+        std::uint64_t edgeSum = 0;
+        for (auto e : st.perNodeEdges)
+            edgeSum += e;
+        reg.counter("node_edges_total", edgeSum);
+        st.metrics = reg.samples();
+
+        simulator.setTracer(nullptr);
     }
     return st;
 }

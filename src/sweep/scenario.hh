@@ -26,6 +26,8 @@
 #include "fault/fault.hh"
 #include "fault/retry.hh"
 #include "sim/types.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 #include "workload/workload.hh"
 
 namespace mbus {
@@ -100,6 +102,16 @@ struct ScenarioSpec
      * actor (ActorSpec::retry) instead.
      */
     fault::RetryPolicy retry;
+
+    /**
+     * Protocol tracing and flight recording (off by default). When
+     * enabled() a trace::Tracer is attached to the cell's Simulator
+     * and the structured event log (exported as Chrome trace-event
+     * JSON), its FNV hash, and any flight-recorder dumps flow into
+     * ScenarioStats. When disabled the tracer is never constructed,
+     * so the cell's bytes are identical to a pre-trace run.
+     */
+    trace::TraceConfig trace;
 };
 
 /** Deterministic per-run reduction of one scenario. */
@@ -194,6 +206,22 @@ struct ScenarioStats
     std::size_t vcdBytes = 0;  ///< Length of the VCD dump.
     std::uint64_t vcdHash = 0; ///< FNV-1a over the VCD bytes.
     std::string vcd; ///< Full dump (only when spec.captureVcd).
+
+    // Kernel occupancy (always collected; zero-cost counters).
+    std::uint64_t slabSlots = 0;     ///< Final slab capacity.
+    std::uint64_t liveHighWater = 0; ///< Peak live events in the heap.
+    std::uint64_t heapCallbacks = 0; ///< Slow-path (non-slab) events.
+
+    // Protocol trace (populated when spec.trace.enabled()).
+    std::uint64_t traceEvents = 0; ///< Events the tracer recorded.
+    std::uint64_t traceHash = 0;   ///< FNV-1a over traceJson.
+    std::string traceJson; ///< Chrome trace-event export (protocol).
+    std::vector<std::string> flightDumps; ///< Flight-recorder dumps.
+
+    /** Unified metrics snapshot (populated when spec.trace.enabled();
+     *  empty otherwise). One sample per registered counter/gauge, in
+     *  registration order -- the sweep packs these into one column. */
+    std::vector<trace::MetricSample> metrics;
 };
 
 /**

@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
-#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
-#include <functional>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
+#include "sim/fsio.hh"
 #include "sim/random.hh"
 
 namespace mbus {
@@ -19,19 +19,15 @@ namespace sweep {
 namespace {
 
 /**
- * Byte-stable double formatting: 17 significant digits round-trip
- * every IEEE-754 double, and std::to_chars is locale-independent
- * (unlike printf %g, whose decimal point follows LC_NUMERIC), so two
- * runs that computed identical values print identical bytes -- the
- * property the shard-determinism tests and fingerprint() rely on.
+ * Byte-stable double formatting (17-digit std::to_chars, shared with
+ * the trace layer): two runs that computed identical values print
+ * identical bytes -- the property the shard-determinism tests and
+ * fingerprint() rely on.
  */
 std::string
 fmt(double v)
 {
-    char buf[40];
-    auto res = std::to_chars(buf, buf + sizeof(buf), v,
-                             std::chars_format::general, 17);
-    return std::string(buf, res.ptr);
+    return sim::formatDouble(v);
 }
 
 /**
@@ -99,6 +95,11 @@ SweepResult::aggregate() const
         a.retriesUsed += s.retries;
         a.recoveredTx += static_cast<std::uint64_t>(s.recoveredTx);
         a.abandonedTx += static_cast<std::uint64_t>(s.abandonedTx);
+        a.traceEvents += s.traceEvents;
+        a.flightDumps += s.flightDumps.size();
+        a.heapCallbacks += s.heapCallbacks;
+        a.liveHighWaterMax =
+            std::max(a.liveHighWaterMax, s.liveHighWater);
         if (s.goodputBps > 0) {
             goodputSum += s.goodputBps;
             ++goodputCells;
@@ -153,6 +154,24 @@ packActors(const std::vector<workload::ActorStats> &actors, F f)
     return out;
 }
 
+/** The cell's metrics snapshot as one pipe-packed "name=value"
+ *  column ("events_executed=420|goodput_bps=1.5e3"); empty for
+ *  untraced cells. Names and values are registry-formatted, so the
+ *  field is CSV/JSON-safe without further quoting. */
+std::string
+packMetrics(const std::vector<trace::MetricSample> &ms)
+{
+    std::string out;
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+        if (i)
+            out += '|';
+        out += ms[i].name;
+        out += '=';
+        out += ms[i].value;
+    }
+    return out;
+}
+
 } // namespace
 
 void
@@ -181,7 +200,9 @@ SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
           "recovery_p99_s,outcome_counts,actor_names,actor_samples,"
           "actor_missed,actor_lat_p50_s,actor_lat_p95_s,"
           "actor_lat_p99_s,actor_energy_per_sample_j,"
-          "actor_duty_cycle";
+          "actor_duty_cycle,"
+          "slab_slots,slab_live_peak,heap_callbacks,"
+          "trace_events,trace_bytes,trace_hash,flight_dumps,metrics";
     if (includeWallTime)
         os << ",wall_s";
     os << "\n";
@@ -282,7 +303,11 @@ SweepResult::writeCsv(std::ostream &os, bool includeWallTime) const
            << packActors(s.actorStats,
                          [](const workload::ActorStats &a) {
                              return fmt(a.dutyCycle);
-                         });
+                         })
+           << ',' << s.slabSlots << ',' << s.liveHighWater << ','
+           << s.heapCallbacks << ',' << s.traceEvents << ','
+           << s.traceJson.size() << ',' << s.traceHash << ','
+           << s.flightDumps.size() << ',' << packMetrics(s.metrics);
         if (includeWallTime)
             os << ',' << fmt(c.wallSeconds);
         os << "\n";
@@ -327,6 +352,10 @@ SweepResult::writeJson(std::ostream &os, bool includeWallTime) const
        << ", \"retries_used\": " << a.retriesUsed
        << ", \"recovered_tx\": " << a.recoveredTx
        << ", \"abandoned_tx\": " << a.abandonedTx
+       << ", \"trace_events\": " << a.traceEvents
+       << ", \"flight_dumps\": " << a.flightDumps
+       << ", \"heap_callbacks\": " << a.heapCallbacks
+       << ", \"slab_live_peak_max\": " << a.liveHighWaterMax
        << ", \"per_node_edges\": \"" << packPerNode(a.perNodeEdges)
        << "\"},\n  \"cells\": [\n";
     for (std::size_t i = 0; i < cells_.size(); ++i) {
@@ -357,7 +386,13 @@ SweepResult::writeJson(std::ostream &os, bool includeWallTime) const
            << ", \"abandoned_tx\": " << s.abandonedTx
            << ", \"outcome_counts\": \"" << s.deliveredOk << '|'
            << s.deliveredInterrupted << '|' << s.deliveredOverflow
-           << '|' << s.txResets << "\"";
+           << '|' << s.txResets << "\""
+           << ", \"slab_live_peak\": " << s.liveHighWater
+           << ", \"trace_events\": " << s.traceEvents
+           << ", \"trace_bytes\": " << s.traceJson.size()
+           << ", \"trace_hash\": " << s.traceHash
+           << ", \"flight_dumps\": " << s.flightDumps.size()
+           << ", \"metrics\": \"" << packMetrics(s.metrics) << "\"";
         if (!s.actorStats.empty()) {
             os << ", \"workload\": \""
                << sanitizeName(c.spec.workload.name)
@@ -392,42 +427,11 @@ SweepResult::writeJson(std::ostream &os, bool includeWallTime) const
     os << "  ]\n}\n";
 }
 
-namespace {
-
-/**
- * Crash-safe emission: write to `path + ".tmp"`, flush, and only
- * rename into place on a clean close. rename(2) within a directory
- * is atomic, so readers (and a re-run after a kill) see either the
- * previous complete file or the new complete file, never a torn one.
- */
-bool
-atomicWrite(const std::string &path,
-            const std::function<void(std::ostream &)> &emit)
-{
-    std::string tmp = path + ".tmp";
-    {
-        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        if (!os)
-            return false;
-        emit(os);
-        os.flush();
-        if (!os.good())
-            return false;
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
-}
-
-} // namespace
-
 bool
 SweepResult::writeCsvFile(const std::string &path,
                           bool includeWallTime) const
 {
-    return atomicWrite(path, [&](std::ostream &os) {
+    return sim::atomicWriteFile(path, [&](std::ostream &os) {
         writeCsv(os, includeWallTime);
     });
 }
@@ -436,7 +440,7 @@ bool
 SweepResult::writeJsonFile(const std::string &path,
                            bool includeWallTime) const
 {
-    return atomicWrite(path, [&](std::ostream &os) {
+    return sim::atomicWriteFile(path, [&](std::ostream &os) {
         writeJson(os, includeWallTime);
     });
 }
@@ -457,6 +461,25 @@ SweepResult::totalWallSeconds() const
     for (const CellResult &c : cells_)
         total += c.wallSeconds;
     return total;
+}
+
+std::function<void(std::size_t, std::size_t)>
+stderrProgress()
+{
+    auto start =
+        std::make_shared<std::chrono::steady_clock::time_point>(
+            std::chrono::steady_clock::now());
+    return [start](std::size_t done, std::size_t total) {
+        double s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - *start)
+                       .count();
+        double rate = s > 0 ? static_cast<double>(done) / s : 0;
+        double eta =
+            rate > 0 ? static_cast<double>(total - done) / rate : 0;
+        std::fprintf(stderr,
+                     "sweep: %zu/%zu cells (%.1f cells/s, eta %.0fs)\n",
+                     done, total, rate, eta);
+    };
 }
 
 // --- SweepDriver -----------------------------------------------------
@@ -500,6 +523,8 @@ SweepDriver::run(const std::vector<ScenarioSpec> &grid) const
         std::min<std::size_t>(want, grid.size());
 
     std::atomic<std::size_t> cursor{0};
+    std::mutex progressMu;
+    std::size_t completed = 0;
     auto work = [&] {
         for (;;) {
             std::size_t i = cursor.fetch_add(1);
@@ -507,6 +532,10 @@ SweepDriver::run(const std::vector<ScenarioSpec> &grid) const
                 return;
             result.cells_[i] =
                 runCell(grid[i], static_cast<std::uint64_t>(i));
+            if (cfg_.progress) {
+                std::lock_guard<std::mutex> lock(progressMu);
+                cfg_.progress(++completed, grid.size());
+            }
         }
     };
 

@@ -20,7 +20,9 @@
 #ifndef MBUS_SWEEP_SWEEP_HH
 #define MBUS_SWEEP_SWEEP_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -38,7 +40,23 @@ struct SweepConfig
 
     /** Worker threads; 0 = hardware concurrency. */
     unsigned threads = 0;
+
+    /**
+     * Optional progress hook, invoked under an internal mutex after
+     * each cell completes with (cells done, cells total). Off (empty)
+     * by default; wall-clock side effects here never reach the
+     * deterministic output (see stderrProgress()).
+     */
+    std::function<void(std::size_t, std::size_t)> progress;
 };
+
+/**
+ * A ready-made SweepConfig::progress hook: one stderr line per
+ * completed cell with done/total, throughput, and ETA, e.g.
+ * "sweep: 12/48 cells (3.4 cells/s, eta 11s)". Stderr-only and
+ * wall-clock based, so reports (and fingerprints) are untouched.
+ */
+std::function<void(std::size_t, std::size_t)> stderrProgress();
 
 /** One finished cell: its spec, seed, stats, and (non-deterministic)
  *  wall time. */
@@ -101,6 +119,13 @@ struct SweepAggregate
     std::uint64_t retriesUsed = 0;
     std::uint64_t recoveredTx = 0;
     std::uint64_t abandonedTx = 0;
+
+    // Observability reductions (trace counters are zero unless cells
+    // enable tracing; kernel occupancy is always populated).
+    std::uint64_t traceEvents = 0;
+    std::uint64_t flightDumps = 0;
+    std::uint64_t heapCallbacks = 0;
+    std::uint64_t liveHighWaterMax = 0; ///< Max across cells.
 };
 
 /** The aggregated outcome of one sweep. */
