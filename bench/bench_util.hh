@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/fsio.hh"
+#include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "sweep/scenario.hh"
 #include "wire/net.hh"
@@ -106,6 +107,71 @@ appendRunEntry(const std::string &path, const std::string &entry)
         for (const std::string &l : lines)
             out << l << "\n";
     });
+}
+
+/** The five backend fabrics, in the cyclic order the smoke grids
+ *  assign them (cell i runs on fabric i % 5). */
+constexpr backend::BackendKind kFiveFabrics[] = {
+    backend::BackendKind::Mbus,      backend::BackendKind::I2cStd,
+    backend::BackendKind::I2cOracle, backend::BackendKind::Bitbang,
+    backend::BackendKind::Firmware,
+};
+
+/** The fault recipe the smoke grids draw per cell: 1-3 events of any
+ *  kind, compressed into the first ~1.5 ms (the fastest fabrics idle
+ *  down in a couple of ms; an event drawn past idle-down never
+ *  fires), under a 32-epoch watchdog. */
+inline fault::FaultSpec
+smokeFaults(sim::Random &rng)
+{
+    fault::FaultSpec fs;
+    fs.name = "smoke";
+    fs.watchdogEpochs = 32;
+    std::size_t entries = 1 + rng.below(3);
+    for (std::size_t j = 0; j < entries; ++j) {
+        fault::FaultEntry e;
+        e.kind = static_cast<fault::FaultKind>(rng.below(6));
+        e.count = 1 + static_cast<int>(rng.below(2));
+        e.startS = 0.0;
+        e.endS = 1.5e-3;
+        e.durationS = 1e-4 + 9e-4 * rng.uniform();
+        e.jitterFrac = 0.3;
+        e.pulses = 1 + static_cast<int>(rng.below(4));
+        e.driftFrac = 0.05;
+        fs.entries.push_back(e);
+    }
+    return fs;
+}
+
+/**
+ * The CI faulty five-fabric grid: @p cells scenarios cycling through
+ * all five fabrics with randomized-but-seeded topology, traffic,
+ * faults, and retry policies. One generator, two gates: fault_smoke
+ * checks in-process shard determinism on it, fleet_smoke checks
+ * multi-process byte identity on the very same cells -- the grids
+ * must stay byte-identical or the two gates drift apart.
+ */
+inline std::vector<sweep::ScenarioSpec>
+faultyFiveFabricGrid(std::size_t cells = 25,
+                     const std::string &namePrefix = "fault_smoke")
+{
+    sim::Random rng(0xFA17CE11ULL);
+    std::vector<sweep::ScenarioSpec> grid;
+    for (std::size_t i = 0; i < cells; ++i) {
+        sweep::ScenarioSpec s;
+        s.name = namePrefix + std::to_string(i);
+        s.backend = kFiveFabrics[i % 5];
+        s.nodes = static_cast<int>(rng.between(3, 6));
+        s.payloadBytes = rng.below(9);
+        s.messages = static_cast<int>(rng.between(2, 4));
+        s.traffic = static_cast<sweep::TrafficPattern>(rng.below(4));
+        s.powerGated = rng.chance(0.3);
+        s.faults = smokeFaults(rng);
+        s.retry.maxRetries = static_cast<int>(rng.below(3));
+        s.retry.backoffEpochs = 8;
+        grid.push_back(std::move(s));
+    }
+    return grid;
 }
 
 /**

@@ -22,41 +22,6 @@
 
 using namespace mbus;
 
-namespace {
-
-const backend::BackendKind kFabrics[] = {
-    backend::BackendKind::Mbus,      backend::BackendKind::I2cStd,
-    backend::BackendKind::I2cOracle, backend::BackendKind::Bitbang,
-    backend::BackendKind::Firmware,
-};
-
-fault::FaultSpec
-randomFaults(sim::Random &rng)
-{
-    fault::FaultSpec fs;
-    fs.name = "smoke";
-    fs.watchdogEpochs = 32;
-    std::size_t entries = 1 + rng.below(3);
-    for (std::size_t j = 0; j < entries; ++j) {
-        fault::FaultEntry e;
-        e.kind = static_cast<fault::FaultKind>(rng.below(6));
-        e.count = 1 + static_cast<int>(rng.below(2));
-        // Windows compressed into the first ~1.5 ms: the fastest
-        // fabrics idle down in a couple of ms, and an event drawn
-        // past idle-down never fires.
-        e.startS = 0.0;
-        e.endS = 1.5e-3;
-        e.durationS = 1e-4 + 9e-4 * rng.uniform();
-        e.jitterFrac = 0.3;
-        e.pulses = 1 + static_cast<int>(rng.below(4));
-        e.driftFrac = 0.05;
-        fs.entries.push_back(e);
-    }
-    return fs;
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
@@ -69,22 +34,10 @@ main(int argc, char **argv)
         "Fault smoke: shard determinism on a faulty five-fabric grid",
         "fault engine + watchdog + retry self-check (CI gate)");
 
-    sim::Random rng(0xFA17CE11ULL);
-    std::vector<sweep::ScenarioSpec> grid;
-    for (std::size_t i = 0; i < 25; ++i) {
-        sweep::ScenarioSpec s;
-        s.name = "fault_smoke" + std::to_string(i);
-        s.backend = kFabrics[i % 5];
-        s.nodes = static_cast<int>(rng.between(3, 6));
-        s.payloadBytes = rng.below(9);
-        s.messages = static_cast<int>(rng.between(2, 4));
-        s.traffic = static_cast<sweep::TrafficPattern>(rng.below(4));
-        s.powerGated = rng.chance(0.3);
-        s.faults = randomFaults(rng);
-        s.retry.maxRetries = static_cast<int>(rng.below(3));
-        s.retry.backoffEpochs = 8;
-        grid.push_back(std::move(s));
-    }
+    // Shared with fleet_smoke: the fleet gate must sweep the exact
+    // same cells this gate pins in-process determinism on.
+    std::vector<sweep::ScenarioSpec> grid =
+        benchutil::faultyFiveFabricGrid(25);
 
     sweep::SweepConfig sharded;
     sharded.threads = 2;
@@ -118,7 +71,7 @@ main(int argc, char **argv)
             planned += st.planned;
         }
         std::printf("%-10s %7llu %7llu %7d %7llu %7d %7d %6d/%-4d\n",
-                    backend::backendKindName(kFabrics[f]),
+                    backend::backendKindName(benchutil::kFiveFabrics[f]),
                     static_cast<unsigned long long>(faults),
                     static_cast<unsigned long long>(bresets), tresets,
                     static_cast<unsigned long long>(retries), recov,

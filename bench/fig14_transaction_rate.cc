@@ -10,6 +10,7 @@
  */
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -20,8 +21,13 @@
 using namespace mbus;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool progress = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--progress") == 0)
+            progress = true;
+
     benchutil::banner(
         "Figure 14: Saturating Transaction Rate vs Payload",
         "Pannuto et al., ISCA'15, Fig 14");
@@ -39,6 +45,8 @@ main()
     }
     sweep::SweepConfig cfg;
     cfg.threads = 4;
+    if (progress)
+        cfg.progress = sweep::stderrProgress();
     sweep::SweepResult result = sweep::SweepDriver(cfg).run(grid);
 
     std::printf("%6s %12s %12s %12s %12s | %14s %10s\n", "bytes",

@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -23,8 +24,13 @@
 using namespace mbus;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool progress = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--progress") == 0)
+            progress = true;
+
     benchutil::banner("Figure 9: Maximum MBus Clock vs Node Count",
                       "Pannuto et al., ISCA'15, Fig 9 (10 ns/hop)");
 
@@ -44,6 +50,8 @@ main()
     }
     sweep::SweepConfig cfg;
     cfg.threads = 4;
+    if (progress)
+        cfg.progress = sweep::stderrProgress();
     sweep::SweepResult result = sweep::SweepDriver(cfg).run(grid);
 
     std::printf("%6s %18s %24s %10s %12s\n", "nodes",

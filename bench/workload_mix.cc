@@ -34,11 +34,14 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    bool progress = false;
     std::string outPath = "BENCH_kernel.json";
     std::string csvPath;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--progress") == 0)
+            progress = true;
         else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
             outPath = argv[++i];
         else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
@@ -66,6 +69,8 @@ main(int argc, char **argv)
 
     sweep::SweepConfig cfg;
     cfg.threads = smoke ? 2 : 0;
+    if (progress)
+        cfg.progress = sweep::stderrProgress();
     sweep::SweepResult result = sweep::SweepDriver(cfg).run(grid);
 
     benchutil::section("per-cell application outcomes");

@@ -1,0 +1,88 @@
+#include "fleet/cache.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "sim/fsio.hh"
+#include "sim/hash.hh"
+#include "sweep/codec.hh"
+
+namespace mbus {
+namespace fleet {
+
+std::uint64_t
+cellKey(const std::string &specBytes, std::uint64_t seed,
+        std::uint64_t salt)
+{
+    sim::Fnv1a h;
+    h.update(specBytes);
+    h.update(seed);
+    h.update(salt);
+    return h.digest();
+}
+
+CellCache::CellCache(std::string dir, std::uint64_t salt)
+    : dir_(std::move(dir)), salt_(salt)
+{
+    if (!dir_.empty())
+        ::mkdir(dir_.c_str(), 0777); // Best effort; may already exist.
+}
+
+std::uint64_t
+CellCache::key(const std::string &specBytes, std::uint64_t seed) const
+{
+    return cellKey(specBytes, seed, salt_);
+}
+
+std::string
+CellCache::pathFor(std::uint64_t key) const
+{
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(key));
+    return dir_ + "/" + hex + ".cell";
+}
+
+bool
+CellCache::lookup(std::uint64_t key, std::string &statsBytes)
+{
+    if (!enabled()) {
+        ++misses_;
+        return false;
+    }
+    std::ifstream in(pathFor(key), std::ios::binary);
+    if (!in) {
+        ++misses_;
+        return false;
+    }
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    std::string got = bytes.str();
+    // Strip the trailing newline the store appends for greppability.
+    if (!got.empty() && got.back() == '\n')
+        got.pop_back();
+    // A value that does not decode is a miss, never a wrong answer.
+    sweep::ScenarioStats probe;
+    if (!sweep::decodeStats(got, probe)) {
+        ++misses_;
+        return false;
+    }
+    statsBytes = std::move(got);
+    ++hits_;
+    return true;
+}
+
+bool
+CellCache::store(std::uint64_t key, const std::string &statsBytes)
+{
+    if (!enabled())
+        return false;
+    return sim::atomicWriteFile(pathFor(key), statsBytes + "\n");
+}
+
+} // namespace fleet
+} // namespace mbus

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The content-addressed cell cache.
+ *
+ * A sweep cell is a pure function of (spec, seed, harness version):
+ * the simulator is deterministic, so running the same spec with the
+ * same seed on the same code always produces the same ScenarioStats.
+ * That makes cells cacheable by content. The key is FNV-1a over the
+ * canonical spec serialization (sweep/codec.hh encodeSpec), the cell
+ * seed, and a harness-version salt; the value is the encodeStats()
+ * bytes, one file per cell under the cache directory.
+ *
+ * The salt is the invalidation lever: any change that can alter
+ * simulated physics bumps kHarnessVersionSalt, every old key stops
+ * resolving, and stale entries are simply never read again (they are
+ * inert files, not wrong answers). A corrupt or truncated value file
+ * decodes as a miss, so the cache can never poison a sweep -- the
+ * worst case is re-simulating a cell.
+ *
+ * Writes go through sim::atomicWriteFile, so concurrent workers
+ * racing to fill the same key are benign: both compute identical
+ * bytes and the rename is atomic either way.
+ */
+
+#ifndef MBUS_FLEET_CACHE_HH
+#define MBUS_FLEET_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "sweep/scenario.hh"
+
+namespace mbus {
+namespace fleet {
+
+/**
+ * Bump on any change that alters simulated physics or the stats
+ * codec; every cached cell from older harnesses then misses.
+ */
+constexpr std::uint64_t kHarnessVersionSalt = 0x4d425553'00000001ULL;
+
+/** The cache key for one cell: FNV-1a over canonical spec bytes,
+ *  the cell seed, and the harness-version salt. */
+std::uint64_t cellKey(const std::string &specBytes, std::uint64_t seed,
+                      std::uint64_t salt = kHarnessVersionSalt);
+
+/** On-disk content-addressed store of finished cells. */
+class CellCache
+{
+  public:
+    /** @param dir Cache directory (created if missing); empty
+     *         disables the cache (every lookup misses, stores drop).
+     *  @param salt Harness-version salt folded into every key. */
+    explicit CellCache(std::string dir,
+                       std::uint64_t salt = kHarnessVersionSalt);
+
+    bool enabled() const { return !dir_.empty(); }
+    std::uint64_t salt() const { return salt_; }
+
+    /** The key for a cell under this cache's salt. */
+    std::uint64_t key(const std::string &specBytes,
+                      std::uint64_t seed) const;
+
+    /**
+     * Look up a finished cell. A hit fills @p statsBytes with the
+     * stored encodeStats() payload *after* validating that it
+     * decodes; anything unreadable or malformed is a miss.
+     */
+    bool lookup(std::uint64_t key, std::string &statsBytes);
+
+    /** Store a finished cell (encodeStats() bytes) under @p key. */
+    bool store(std::uint64_t key, const std::string &statsBytes);
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+
+    /** The value-file path for @p key (16 lowercase hex + ".cell"). */
+    std::string pathFor(std::uint64_t key) const;
+
+  private:
+    std::string dir_;
+    std::uint64_t salt_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace fleet
+} // namespace mbus
+
+#endif // MBUS_FLEET_CACHE_HH

@@ -1,0 +1,87 @@
+#include "fleet/journal.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/fsio.hh"
+
+namespace mbus {
+namespace fleet {
+
+namespace {
+
+// One line per cell: "cell|<index>|<key hex>|<stats bytes>". The
+// stats payload is already '|'-free beyond its own framing, but we
+// split only the first three fields so the payload passes through
+// verbatim. A leading "journal1" version line guards the format.
+constexpr const char *kVersionLine = "journal1";
+
+} // namespace
+
+Journal::Journal(std::string path) : path_(std::move(path))
+{
+    std::ifstream in(path_);
+    if (!in)
+        return;
+    std::string line;
+    if (!std::getline(in, line) || line != kVersionLine)
+        return; // Unknown version: start fresh (old file kept on disk
+                // until the first append rewrites it).
+    while (std::getline(in, line)) {
+        // cell|index|keyhex|payload
+        if (line.rfind("cell|", 0) != 0)
+            continue;
+        std::size_t p1 = line.find('|', 5);
+        if (p1 == std::string::npos)
+            continue;
+        std::size_t p2 = line.find('|', p1 + 1);
+        if (p2 == std::string::npos)
+            continue;
+        char *end = nullptr;
+        std::string idxStr = line.substr(5, p1 - 5);
+        std::uint64_t idx = std::strtoull(idxStr.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0')
+            continue;
+        std::string keyStr = line.substr(p1 + 1, p2 - p1 - 1);
+        std::uint64_t key = std::strtoull(keyStr.c_str(), &end, 16);
+        if (end == nullptr || *end != '\0')
+            continue;
+        JournalEntry e;
+        e.key = key;
+        e.statsBytes = line.substr(p2 + 1);
+        entries_[idx] = std::move(e);
+    }
+}
+
+bool
+Journal::append(std::uint64_t index, std::uint64_t key,
+                const std::string &statsBytes)
+{
+    JournalEntry &e = entries_[index]; // Overwrite: one line per index.
+    e.key = key;
+    e.statsBytes = statsBytes;
+    if (path_.empty())
+        return true;
+    return persist();
+}
+
+bool
+Journal::persist() const
+{
+    return sim::atomicWriteFile(path_, [&](std::ostream &out) {
+        out << kVersionLine << "\n";
+        for (const auto &kv : entries_) {
+            char hex[17];
+            std::snprintf(hex, sizeof hex, "%016llx",
+                          static_cast<unsigned long long>(
+                              kv.second.key));
+            out << "cell|" << kv.first << "|" << hex << "|"
+                << kv.second.statsBytes << "\n";
+        }
+    });
+}
+
+} // namespace fleet
+} // namespace mbus

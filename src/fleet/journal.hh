@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The per-shard checkpoint journal.
+ *
+ * Each fleet worker owns one journal file (`shard_<id>.journal` under
+ * the checkpoint directory) and records every cell it finishes --
+ * index, content key, and the full encodeStats() payload -- *before*
+ * reporting the cell to the coordinator. The file is rewritten whole
+ * through sim::atomicWriteFile on every append, so at any kill point
+ * it is either the previous complete journal or the new complete one,
+ * never torn.
+ *
+ * That ordering is the zero-loss contract: a SIGKILLed worker's
+ * journal contains every cell it finished, including ones whose
+ * "done" report never made it up the pipe. The coordinator absorbs
+ * the journal before re-queueing the worker's outstanding cells, so a
+ * finished cell is neither lost nor simulated twice -- and the
+ * journal itself can never hold a cell twice, because entries are
+ * keyed by index.
+ *
+ * Every entry carries the cell's content key (spec + seed + harness
+ * salt, see fleet/cache.hh); a resume run recomputes keys from its
+ * own grid and drops any entry that does not match, so a stale
+ * journal from a different grid or harness version can never leak
+ * cells into a sweep.
+ */
+
+#ifndef MBUS_FLEET_JOURNAL_HH
+#define MBUS_FLEET_JOURNAL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mbus {
+namespace fleet {
+
+/** One finished cell as journaled by a worker. */
+struct JournalEntry
+{
+    std::uint64_t key = 0;  ///< cellKey(spec, seed, salt).
+    std::string statsBytes; ///< encodeStats() payload.
+};
+
+/** Crash-safe append-only record of one shard's finished cells. */
+class Journal
+{
+  public:
+    /** Bind to @p path and load any existing entries (malformed
+     *  lines are dropped silently -- worst case a cell re-runs). */
+    explicit Journal(std::string path);
+
+    /** In-memory, unbound journal (tests). */
+    Journal() = default;
+
+    /**
+     * Record a finished cell and persist the whole journal
+     * atomically. Re-appending an index overwrites in place -- an
+     * index can never appear twice in the file.
+     *
+     * @return true when the rewrite landed (always true unbound).
+     */
+    bool append(std::uint64_t index, std::uint64_t key,
+                const std::string &statsBytes);
+
+    /** All journaled cells, ordered by index. */
+    const std::map<std::uint64_t, JournalEntry> &entries() const
+    {
+        return entries_;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    const std::string &path() const { return path_; }
+
+  private:
+    bool persist() const;
+
+    std::string path_;
+    std::map<std::uint64_t, JournalEntry> entries_;
+};
+
+} // namespace fleet
+} // namespace mbus
+
+#endif // MBUS_FLEET_JOURNAL_HH

@@ -1,0 +1,285 @@
+#include "fleet/protocol.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include <unistd.h>
+
+namespace mbus {
+namespace fleet {
+
+namespace {
+
+const std::string kEmpty;
+
+/** JSON string escape: control bytes, quote, backslash. The codec
+ *  payloads are printable ASCII already, so this is nearly identity. */
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size() + 2);
+    for (char c : raw) {
+        unsigned char u = static_cast<unsigned char>(c);
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (u < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", u);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+bool
+isBareNumber(const std::string &s)
+{
+    if (s.empty() || s.size() > 19)
+        return false;
+    for (char c : s)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    // No leading zeros (other than "0" itself): keeps emission
+    // canonical and round-trippable.
+    return s.size() == 1 || s[0] != '0';
+}
+
+void
+skipWs(const std::string &s, std::size_t &i)
+{
+    while (i < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[i])))
+        ++i;
+}
+
+/** Parse a JSON string at s[i] (expects opening quote). */
+bool
+parseString(const std::string &s, std::size_t &i, std::string &out)
+{
+    if (i >= s.size() || s[i] != '"')
+        return false;
+    ++i;
+    out.clear();
+    while (i < s.size()) {
+        char c = s[i];
+        if (c == '"') {
+            ++i;
+            return true;
+        }
+        if (c == '\\') {
+            if (i + 1 >= s.size())
+                return false;
+            char e = s[i + 1];
+            i += 2;
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'u': {
+                if (i + 4 > s.size())
+                    return false;
+                char hex[5] = {s[i], s[i + 1], s[i + 2], s[i + 3], 0};
+                char *end = nullptr;
+                unsigned long cp = std::strtoul(hex, &end, 16);
+                if (end != hex + 4)
+                    return false;
+                i += 4;
+                // Protocol payloads are ASCII; anything above is a
+                // malformed line as far as the fleet is concerned.
+                if (cp > 0x7f)
+                    return false;
+                out += static_cast<char>(cp);
+                break;
+            }
+            default: return false;
+            }
+            continue;
+        }
+        out += c;
+        ++i;
+    }
+    return false; // Unterminated.
+}
+
+/** Parse a bare scalar (number / true / false / null) as text. */
+bool
+parseScalar(const std::string &s, std::size_t &i, std::string &out)
+{
+    std::size_t start = i;
+    while (i < s.size() && s[i] != ',' && s[i] != '}' &&
+           !std::isspace(static_cast<unsigned char>(s[i])))
+        ++i;
+    if (i == start)
+        return false;
+    out = s.substr(start, i - start);
+    return true;
+}
+
+} // namespace
+
+const std::string &
+Msg::str(const std::string &key) const
+{
+    auto it = fields.find(key);
+    return it == fields.end() ? kEmpty : it->second;
+}
+
+std::uint64_t
+Msg::u64(const std::string &key) const
+{
+    const std::string &v = str(key);
+    return v.empty() ? 0 : std::strtoull(v.c_str(), nullptr, 10);
+}
+
+double
+Msg::dbl(const std::string &key) const
+{
+    const std::string &v = str(key);
+    return v.empty() ? 0.0 : std::strtod(v.c_str(), nullptr);
+}
+
+std::string
+encodeMsg(const Msg &m)
+{
+    std::string out = "{\"type\":\"" + jsonEscape(m.type) + "\"";
+    for (const auto &kv : m.fields) {
+        out += ",\"" + jsonEscape(kv.first) + "\":";
+        if (isBareNumber(kv.second))
+            out += kv.second;
+        else
+            out += "\"" + jsonEscape(kv.second) + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+bool
+parseMsg(const std::string &line, Msg &out)
+{
+    Msg m;
+    std::size_t i = 0;
+    skipWs(line, i);
+    if (i >= line.size() || line[i] != '{')
+        return false;
+    ++i;
+    skipWs(line, i);
+    if (i < line.size() && line[i] == '}') {
+        ++i;
+    } else {
+        for (;;) {
+            skipWs(line, i);
+            std::string key;
+            if (!parseString(line, i, key))
+                return false;
+            skipWs(line, i);
+            if (i >= line.size() || line[i] != ':')
+                return false;
+            ++i;
+            skipWs(line, i);
+            std::string value;
+            if (i < line.size() && line[i] == '"') {
+                if (!parseString(line, i, value))
+                    return false;
+            } else {
+                if (!parseScalar(line, i, value))
+                    return false;
+            }
+            if (key == "type")
+                m.type = value;
+            else
+                m.fields[key] = value;
+            skipWs(line, i);
+            if (i >= line.size())
+                return false;
+            if (line[i] == ',') {
+                ++i;
+                continue;
+            }
+            if (line[i] == '}') {
+                ++i;
+                break;
+            }
+            return false;
+        }
+    }
+    skipWs(line, i);
+    if (i != line.size() || m.type.empty())
+        return false;
+    out = std::move(m);
+    return true;
+}
+
+bool
+LineReader::nextBuffered(std::string &line)
+{
+    std::size_t nl = buf_.find('\n');
+    if (nl == std::string::npos)
+        return false;
+    line.assign(buf_, 0, nl);
+    buf_.erase(0, nl + 1);
+    return true;
+}
+
+bool
+LineReader::fill()
+{
+    if (eof_)
+        return false;
+    char chunk[4096];
+    ssize_t n;
+    do {
+        n = ::read(fd_, chunk, sizeof chunk);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+        eof_ = true;
+        return false;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+    return true;
+}
+
+bool
+LineReader::readLine(std::string &line)
+{
+    while (!nextBuffered(line)) {
+        if (!fill())
+            return false;
+    }
+    return true;
+}
+
+bool
+writeLine(int fd, const std::string &line)
+{
+    std::string bytes = line + "\n";
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace fleet
+} // namespace mbus

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The coordinator <-> worker pipe protocol.
+ *
+ * Line-delimited JSON, one flat object per line, over a pair of
+ * anonymous pipes (or any byte stream -- the framing is transport
+ * agnostic, which is what makes a shell/SSH transport trivial: pipe
+ * the same lines through `ssh host fleet_runner --fleet-worker`).
+ *
+ * Coordinator -> worker:
+ *   {"type":"hello","worker":0,"threads":2,"seed":...,"salt":...,
+ *    "cache":"<dir>","journal":"<path>","progress":0}   (once, first)
+ *   {"type":"cell","index":7,"seed":...,"spec":"<encodeSpec bytes>"}
+ *   {"type":"exit"}
+ *
+ * Worker -> coordinator:
+ *   {"type":"ready","worker":0}
+ *   {"type":"done","index":7,"cached":0,"wall":0.123,
+ *    "stats":"<encodeStats bytes>"}
+ *
+ * The embedded spec/stats payloads are the canonical codec bytes
+ * (sweep/codec.hh) JSON-string-escaped; both sides treat them as
+ * opaque, so the byte-identity contract rides entirely on the codec.
+ *
+ * Parsing is a deliberately small flat-object JSON reader: every
+ * value is captured as a string ("5" and 5 read the same), unknown
+ * keys are ignored, and a malformed line parses to false -- the
+ * coordinator treats that as a dead worker, never as partial data.
+ */
+
+#ifndef MBUS_FLEET_PROTOCOL_HH
+#define MBUS_FLEET_PROTOCOL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mbus {
+namespace fleet {
+
+/** One protocol line: a type tag plus flat string fields. */
+struct Msg
+{
+    std::string type;
+    std::map<std::string, std::string> fields;
+
+    const std::string &str(const std::string &key) const;
+    std::uint64_t u64(const std::string &key) const;
+    double dbl(const std::string &key) const;
+    bool has(const std::string &key) const
+    {
+        return fields.count(key) != 0;
+    }
+};
+
+/** Serialize @p m as one JSON line (no trailing newline). Values
+ *  that look like plain integers are emitted bare, the rest as
+ *  escaped JSON strings. */
+std::string encodeMsg(const Msg &m);
+
+/** Parse one JSON line. @return false on malformed input or a
+ *  missing "type" field. */
+bool parseMsg(const std::string &line, Msg &out);
+
+/** Blocking buffered line reader over a raw fd (no iostreams: the
+ *  coordinator polls these fds and must own the buffering). */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /**
+     * Pull one complete line (newline stripped). Blocks until a line
+     * or EOF. @return false on EOF/error with no complete line left.
+     */
+    bool readLine(std::string &line);
+
+    /**
+     * Non-draining variant for poll loops: do at most one read(2)
+     * (the fd is known readable), then surface buffered lines via
+     * nextBuffered(). @return false on EOF/error.
+     */
+    bool fill();
+
+    /** Pop the next complete buffered line without reading the fd. */
+    bool nextBuffered(std::string &line);
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_;
+    std::string buf_;
+    bool eof_ = false;
+};
+
+/** Write @p line plus '\n' to @p fd in one retry loop.
+ *  @return false on EPIPE or any write error (dead peer). */
+bool writeLine(int fd, const std::string &line);
+
+} // namespace fleet
+} // namespace mbus
+
+#endif // MBUS_FLEET_PROTOCOL_HH

@@ -39,18 +39,6 @@ nearestRankPercentile(const std::vector<double> &sorted, double q)
     return sorted[(i == 0 ? 1 : i) - 1];
 }
 
-std::uint64_t
-fnv1a(const void *data, std::size_t len, std::uint64_t basis)
-{
-    const unsigned char *p = static_cast<const unsigned char *>(data);
-    std::uint64_t h = basis;
-    for (std::size_t i = 0; i < len; ++i) {
-        h ^= p[i];
-        h *= 0x100000001b3ULL;
-    }
-    return h;
-}
-
 namespace {
 
 /** One pre-generated transaction of the cell's traffic plan. */

@@ -25,6 +25,7 @@
 #include "backend/backend.hh"
 #include "fault/fault.hh"
 #include "fault/retry.hh"
+#include "sim/hash.hh"
 #include "sim/types.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
@@ -233,9 +234,15 @@ struct ScenarioStats
  */
 ScenarioStats runScenario(const ScenarioSpec &spec, std::uint64_t seed);
 
-/** FNV-1a 64-bit, the hash used for VCD and sweep fingerprints. */
-std::uint64_t fnv1a(const void *data, std::size_t len,
-                    std::uint64_t basis = 0xcbf29ce484222325ULL);
+/** FNV-1a 64-bit, the hash used for VCD and sweep fingerprints.
+ *  Forwards to the centralized sim/hash.hh implementation (which the
+ *  fleet's content-addressed cell-cache keys share). */
+inline std::uint64_t
+fnv1a(const void *data, std::size_t len,
+      std::uint64_t basis = sim::kFnvOffsetBasis)
+{
+    return sim::fnv1a(data, len, basis);
+}
 
 /**
  * Nearest-rank percentile over an ascending-sorted sample: the

@@ -464,22 +464,43 @@ SweepResult::totalWallSeconds() const
 }
 
 std::function<void(std::size_t, std::size_t)>
-stderrProgress()
+stderrProgress(const std::string &label)
 {
     auto start =
         std::make_shared<std::chrono::steady_clock::time_point>(
             std::chrono::steady_clock::now());
-    return [start](std::size_t done, std::size_t total) {
+    std::string tag = label.empty() ? "" : " [" + label + "]";
+    return [start, tag](std::size_t done, std::size_t total) {
         double s = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - *start)
                        .count();
         double rate = s > 0 ? static_cast<double>(done) / s : 0;
+        if (total == 0) {
+            // Fleet worker: the grid size lives in the coordinator.
+            std::fprintf(stderr, "sweep%s: %zu cells (%.1f cells/s)\n",
+                         tag.c_str(), done, rate);
+            return;
+        }
         double eta =
             rate > 0 ? static_cast<double>(total - done) / rate : 0;
-        std::fprintf(stderr,
-                     "sweep: %zu/%zu cells (%.1f cells/s, eta %.0fs)\n",
-                     done, total, rate, eta);
+        std::fprintf(
+            stderr, "sweep%s: %zu/%zu cells (%.1f cells/s, eta %.0fs)\n",
+            tag.c_str(), done, total, rate, eta);
     };
+}
+
+SweepResult
+SweepResult::fromCells(const SweepConfig &cfg,
+                       std::vector<CellResult> cells)
+{
+    SweepResult r;
+    r.cfg_ = cfg;
+    r.cells_ = std::move(cells);
+    std::sort(r.cells_.begin(), r.cells_.end(),
+              [](const CellResult &a, const CellResult &b) {
+                  return a.index < b.index;
+              });
+    return r;
 }
 
 // --- SweepDriver -----------------------------------------------------
@@ -508,10 +529,22 @@ SweepDriver::runCell(const ScenarioSpec &spec, std::uint64_t index) const
 SweepResult
 SweepDriver::run(const std::vector<ScenarioSpec> &grid) const
 {
+    return runRange(grid, 0, grid.size());
+}
+
+SweepResult
+SweepDriver::runRange(const std::vector<ScenarioSpec> &grid,
+                      std::size_t first, std::size_t count) const
+{
+    if (first > grid.size())
+        first = grid.size();
+    if (count > grid.size() - first)
+        count = grid.size() - first;
+
     SweepResult result;
     result.cfg_ = cfg_;
-    result.cells_.resize(grid.size());
-    if (grid.empty())
+    result.cells_.resize(count);
+    if (count == 0)
         return result;
 
     unsigned want = cfg_.threads != 0
@@ -519,8 +552,7 @@ SweepDriver::run(const std::vector<ScenarioSpec> &grid) const
                         : std::thread::hardware_concurrency();
     if (want == 0)
         want = 1;
-    std::size_t workers =
-        std::min<std::size_t>(want, grid.size());
+    std::size_t workers = std::min<std::size_t>(want, count);
 
     std::atomic<std::size_t> cursor{0};
     std::mutex progressMu;
@@ -528,13 +560,16 @@ SweepDriver::run(const std::vector<ScenarioSpec> &grid) const
     auto work = [&] {
         for (;;) {
             std::size_t i = cursor.fetch_add(1);
-            if (i >= grid.size())
+            if (i >= count)
                 return;
+            // Cells keep their global grid index (and therefore
+            // seed), so disjoint ranges merge byte-identically.
             result.cells_[i] =
-                runCell(grid[i], static_cast<std::uint64_t>(i));
+                runCell(grid[first + i],
+                        static_cast<std::uint64_t>(first + i));
             if (cfg_.progress) {
                 std::lock_guard<std::mutex> lock(progressMu);
-                cfg_.progress(++completed, grid.size());
+                cfg_.progress(++completed, count);
             }
         }
     };

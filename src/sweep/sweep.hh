@@ -55,8 +55,15 @@ struct SweepConfig
  * completed cell with done/total, throughput, and ETA, e.g.
  * "sweep: 12/48 cells (3.4 cells/s, eta 11s)". Stderr-only and
  * wall-clock based, so reports (and fingerprints) are untouched.
+ *
+ * @param label Optional tag spliced into the line -- the fleet
+ *        passes "shard 3" so a multi-process run's interleaved
+ *        progress stays attributable: "sweep [shard 3]: 12/48 ...".
+ *        A zero total (a fleet worker does not know the grid size)
+ *        drops the total and ETA: "sweep [shard 3]: 12 cells (...)".
  */
-std::function<void(std::size_t, std::size_t)> stderrProgress();
+std::function<void(std::size_t, std::size_t)>
+stderrProgress(const std::string &label = std::string());
 
 /** One finished cell: its spec, seed, stats, and (non-deterministic)
  *  wall time. */
@@ -172,6 +179,17 @@ class SweepResult
     /** Total wall-clock seconds across all cells (diagnostic). */
     double totalWallSeconds() const;
 
+    /**
+     * Assemble a SweepResult from already-finished cells -- the merge
+     * hook the distributed fleet (and any out-of-process runner)
+     * uses. Cells must be complete and carry their grid indices;
+     * they are sorted into grid order here, so the CSV/JSON/
+     * fingerprint bytes are identical to an in-process run() of the
+     * same grid under @p cfg.
+     */
+    static SweepResult fromCells(const SweepConfig &cfg,
+                                 std::vector<CellResult> cells);
+
   private:
     friend class SweepDriver;
     std::vector<CellResult> cells_;
@@ -202,6 +220,17 @@ class SweepDriver
      */
     CellResult runCell(const ScenarioSpec &spec,
                        std::uint64_t index) const;
+
+    /**
+     * Run the contiguous cell range [first, first + count) of
+     * @p grid across the pool -- the fleet's shard execution unit,
+     * also usable directly to split a grid across machines by hand.
+     * Cells keep their *global* indices and seeds, so concatenating
+     * the cells of disjoint ranges and merging via
+     * SweepResult::fromCells reproduces run()'s bytes exactly.
+     */
+    SweepResult runRange(const std::vector<ScenarioSpec> &grid,
+                         std::size_t first, std::size_t count) const;
 
   private:
     SweepConfig cfg_;

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Process-level fleet properties, run with real fork()ed workers:
+ *
+ *  - N processes x M threads merges byte-identically to the solo
+ *    1x1 sweep (the fingerprint contract, extended across pipes).
+ *  - A SIGKILLed worker loses zero finished cells, and no cell is
+ *    journaled twice.
+ *  - A coordinator that dies mid-sweep (simulated via the
+ *    stopAfterCells abort hook) resumes from the shard journals:
+ *    recovered cells are not re-simulated and the merge is
+ *    byte-identical to an uninterrupted run.
+ *  - The content-addressed cache turns a one-axis grid change into
+ *    exactly the new cells' worth of simulation, and a harness salt
+ *    bump invalidates everything.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "fleet/fleet.hh"
+#include "sweep/sweep.hh"
+
+using namespace mbus;
+
+namespace {
+
+/** Small mixed grid: cheap cells, but spanning fabrics and faults so
+ *  the codec carries real payloads. */
+std::vector<sweep::ScenarioSpec>
+replayGrid(std::size_t cells)
+{
+    const backend::BackendKind fabrics[] = {
+        backend::BackendKind::Mbus,
+        backend::BackendKind::I2cStd,
+        backend::BackendKind::Bitbang,
+    };
+    std::vector<sweep::ScenarioSpec> grid;
+    for (std::size_t i = 0; i < cells; ++i) {
+        sweep::ScenarioSpec s;
+        s.name = "replay" + std::to_string(i);
+        s.backend = fabrics[i % 3];
+        s.nodes = 3 + static_cast<int>(i % 2);
+        s.messages = 2;
+        s.payloadBytes = 1 + i % 3;
+        s.traffic = static_cast<sweep::TrafficPattern>(i % 4);
+        if (i % 2 == 0) {
+            fault::FaultEntry fe;
+            fe.kind = fault::FaultKind::GlitchBurst;
+            fe.endS = 1e-3;
+            s.faults.entries.push_back(fe);
+            s.faults.watchdogEpochs = 32;
+            s.retry.maxRetries = 1;
+            s.retry.backoffEpochs = 8;
+        }
+        grid.push_back(std::move(s));
+    }
+    return grid;
+}
+
+std::string
+csvOf(const sweep::SweepResult &r)
+{
+    std::ostringstream os;
+    r.writeCsv(os);
+    return os.str();
+}
+
+std::string
+jsonOf(const sweep::SweepResult &r)
+{
+    std::ostringstream os;
+    r.writeJson(os);
+    return os.str();
+}
+
+void
+freshDir(const std::string &dir)
+{
+    if (DIR *d = ::opendir(dir.c_str())) {
+        while (struct dirent *e = ::readdir(d)) {
+            std::string name = e->d_name;
+            if (name != "." && name != "..")
+                ::unlink((dir + "/" + name).c_str());
+        }
+        ::closedir(d);
+    }
+    ::mkdir(dir.c_str(), 0777);
+}
+
+/** Indices journaled under @p dir; fails the test on duplicates. */
+std::set<std::uint64_t>
+journaledOnce(const std::string &dir)
+{
+    std::set<std::uint64_t> seen;
+    DIR *d = ::opendir(dir.c_str());
+    EXPECT_NE(d, nullptr);
+    if (d == nullptr)
+        return seen;
+    while (struct dirent *e = ::readdir(d)) {
+        std::string name = e->d_name;
+        if (name.rfind("shard_", 0) != 0)
+            continue;
+        std::ifstream in(dir + "/" + name);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.rfind("cell|", 0) != 0)
+                continue;
+            std::uint64_t idx =
+                std::strtoull(line.c_str() + 5, nullptr, 10);
+            EXPECT_TRUE(seen.insert(idx).second)
+                << "cell " << idx << " journaled twice";
+        }
+    }
+    ::closedir(d);
+    return seen;
+}
+
+struct Solo
+{
+    sweep::SweepResult result;
+    std::string csv, json;
+};
+
+Solo
+soloRun(const std::vector<sweep::ScenarioSpec> &grid)
+{
+    sweep::SweepConfig cfg;
+    cfg.threads = 1;
+    Solo s;
+    s.result = sweep::SweepDriver(cfg).run(grid);
+    s.csv = csvOf(s.result);
+    s.json = jsonOf(s.result);
+    return s;
+}
+
+} // namespace
+
+TEST(FleetReplay, MultiProcessMatchesSoloByByte)
+{
+    std::vector<sweep::ScenarioSpec> grid = replayGrid(9);
+    Solo solo = soloRun(grid);
+
+    fleet::FleetConfig cfg;
+    cfg.workers = 3;
+    cfg.threadsPerWorker = 2;
+    fleet::FleetResult fr = fleet::runFleet(grid, cfg);
+
+    ASSERT_TRUE(fr.complete);
+    EXPECT_EQ(fr.stats.workersSpawned, 3u);
+    EXPECT_EQ(fr.stats.cellsSimulated, grid.size());
+    EXPECT_EQ(csvOf(fr.result), solo.csv);
+    EXPECT_EQ(jsonOf(fr.result), solo.json);
+    EXPECT_EQ(fr.result.fingerprint(), solo.result.fingerprint());
+}
+
+TEST(FleetReplay, SigkilledWorkerLosesNoCells)
+{
+    const std::string ckpt = "fleet_replay_kill_ckpt";
+    freshDir(ckpt);
+    std::vector<sweep::ScenarioSpec> grid = replayGrid(10);
+    Solo solo = soloRun(grid);
+
+    fleet::FleetConfig cfg;
+    cfg.workers = 2;
+    cfg.threadsPerWorker = 1;
+    cfg.checkpointDir = ckpt;
+    long victim = -1;
+    bool killed = false;
+    std::uint64_t merges = 0;
+    cfg.onWorkerSpawn = [&](unsigned id, long pid) {
+        if (id == 0)
+            victim = pid;
+    };
+    cfg.onCellDone = [&](std::uint64_t) {
+        if (++merges == 3 && !killed && victim > 0) {
+            killed = true;
+            ::kill(static_cast<pid_t>(victim), SIGKILL);
+        }
+    };
+    fleet::FleetResult fr = fleet::runFleet(grid, cfg);
+
+    ASSERT_TRUE(killed);
+    ASSERT_TRUE(fr.complete) << "cells lost to the kill";
+    EXPECT_GE(fr.stats.workerDeaths, 1u);
+    EXPECT_EQ(csvOf(fr.result), solo.csv);
+    EXPECT_EQ(fr.result.fingerprint(), solo.result.fingerprint());
+    EXPECT_EQ(journaledOnce(ckpt).size(), grid.size());
+}
+
+TEST(FleetReplay, ResumeFromJournalsIsByteIdentical)
+{
+    const std::string ckpt = "fleet_replay_resume_ckpt";
+    freshDir(ckpt);
+    std::vector<sweep::ScenarioSpec> grid = replayGrid(10);
+    Solo solo = soloRun(grid);
+
+    fleet::FleetConfig cfg;
+    cfg.workers = 2;
+    cfg.threadsPerWorker = 1;
+    cfg.checkpointDir = ckpt;
+    cfg.stopAfterCells = 3;
+    fleet::FleetResult first = fleet::runFleet(grid, cfg);
+    EXPECT_TRUE(first.stats.aborted);
+    EXPECT_FALSE(first.complete);
+    EXPECT_LT(first.result.size(), grid.size());
+
+    cfg.stopAfterCells = 0;
+    fleet::FleetResult resumed = fleet::runFleet(grid, cfg);
+    ASSERT_TRUE(resumed.complete);
+    EXPECT_GE(resumed.stats.cellsFromJournal, 3u);
+    EXPECT_LT(resumed.stats.cellsSimulated, grid.size());
+    EXPECT_EQ(csvOf(resumed.result), solo.csv);
+    EXPECT_EQ(jsonOf(resumed.result), solo.json);
+    EXPECT_EQ(resumed.result.fingerprint(),
+              solo.result.fingerprint());
+    EXPECT_EQ(journaledOnce(ckpt).size(), grid.size());
+}
+
+TEST(FleetReplay, CacheServesOldCellsSimulatesOnlyNew)
+{
+    const std::string cacheDir = "fleet_replay_cache";
+    freshDir(cacheDir);
+    std::vector<sweep::ScenarioSpec> grid = replayGrid(8);
+
+    fleet::FleetConfig cfg;
+    cfg.workers = 2;
+    cfg.threadsPerWorker = 1;
+    cfg.cacheDir = cacheDir;
+
+    fleet::FleetResult cold = fleet::runFleet(grid, cfg);
+    ASSERT_TRUE(cold.complete);
+    EXPECT_EQ(cold.stats.cacheMisses, grid.size());
+    EXPECT_EQ(cold.stats.cacheHits, 0u);
+
+    fleet::FleetResult warm = fleet::runFleet(grid, cfg);
+    ASSERT_TRUE(warm.complete);
+    EXPECT_EQ(warm.stats.cacheHits, grid.size());
+    EXPECT_EQ(warm.stats.cellsSimulated, 0u);
+    EXPECT_EQ(csvOf(warm.result), csvOf(cold.result));
+
+    // One-axis change: two more payload points on the same grid.
+    std::vector<sweep::ScenarioSpec> grown = replayGrid(10);
+    Solo soloGrown = soloRun(grown);
+    fleet::FleetResult ext = fleet::runFleet(grown, cfg);
+    ASSERT_TRUE(ext.complete);
+    EXPECT_EQ(ext.stats.cacheHits, grid.size());
+    EXPECT_EQ(ext.stats.cellsSimulated, 2u);
+    EXPECT_EQ(csvOf(ext.result), soloGrown.csv);
+    EXPECT_EQ(ext.result.fingerprint(),
+              soloGrown.result.fingerprint());
+
+    // Harness-version bump: everything cold again.
+    fleet::FleetConfig bumped = cfg;
+    bumped.cacheSalt = fleet::kHarnessVersionSalt + 1;
+    fleet::FleetResult salted = fleet::runFleet(grid, bumped);
+    ASSERT_TRUE(salted.complete);
+    EXPECT_EQ(salted.stats.cacheHits, 0u);
+    EXPECT_EQ(salted.stats.cellsSimulated, grid.size());
+}
